@@ -1,0 +1,17 @@
+"""FIG2 — demand curves ``d_i(omega_i)`` for a range of sensitivities (Figure 2)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.simulation import experiments
+
+
+def test_fig02_demand_curves(benchmark, record_report):
+    result = run_once(benchmark, experiments.figure2_demand_curves,
+                      betas=(0.1, 0.5, 1.0, 3.0, 5.0, 10.0), points=201)
+    record_report(result)
+    # Paper shape: beta=5 roughly halves demand at a 10% throughput drop,
+    # while beta=0.1 barely reacts.
+    assert result.findings["beta5_halved_by_10pct_drop"]
+    assert result.findings["low_beta_insensitive"]

@@ -1,0 +1,15 @@
+"""FIG3 — archetype throughput/demand under max-min fairness (Figure 3)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.simulation import experiments
+
+
+def test_fig03_maxmin_throughput(benchmark, record_report):
+    result = run_once(benchmark, experiments.figure3_maxmin_throughput)
+    record_report(result)
+    # Paper shape: Google-type demand saturates first, then Skype-type,
+    # with Netflix-type last.
+    assert result.findings["google_saturates_before_skype_before_netflix"]

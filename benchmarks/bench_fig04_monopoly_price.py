@@ -1,0 +1,24 @@
+"""FIG4 — monopoly surplus vs premium price under kappa = 1 (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+PRICES = tuple(np.round(np.linspace(0.0, 1.0, 21), 6))
+NUS = (20.0, 50.0, 100.0, 150.0, 200.0)
+
+
+def test_fig04_monopoly_price(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.figure4_monopoly_price,
+                      population=paper_cps, nus=NUS, prices=PRICES, kappa=1.0)
+    record_report(result)
+    # Regime 1: Psi grows linearly (Psi = c * nu) while capacity is saturated.
+    assert result.findings["psi_linear_small_c"]
+    # Regime 2/3: at abundant capacity the revenue-optimal price sits where
+    # consumer surplus has already fallen from its maximum (misalignment),
+    # and a prohibitive price collapses the ISP's revenue.
+    assert result.findings["monopoly_misaligned_when_capacity_abundant"]
+    assert result.findings["psi_collapses_at_high_c"]

@@ -1,0 +1,24 @@
+"""FIG5 — monopoly surplus vs capacity for a (kappa, c) strategy grid (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+NUS = tuple(np.round(np.linspace(20.0, 500.0, 9), 6))
+
+
+def test_fig05_monopoly_capacity(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.figure5_monopoly_capacity,
+                      population=paper_cps, kappas=(0.3, 0.6, 0.9),
+                      prices=(0.2, 0.5, 0.8), nus=NUS)
+    record_report(result)
+    # Paper shapes at abundant capacity: larger kappa keeps revenue up but
+    # lowers consumer surplus; small-kappa revenue vanishes once the ordinary
+    # class alone can serve all demand; Phi's downward jumps (epsilon of
+    # Equation 9) stay small relative to the surplus level.
+    assert result.findings["psi_high_kappa_geq_low_kappa_at_large_nu"]
+    assert result.findings["phi_low_kappa_geq_high_kappa_at_large_nu"]
+    assert result.findings["psi_low_kappa_vanishes_at_large_nu"]

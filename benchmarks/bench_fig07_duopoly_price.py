@@ -1,0 +1,24 @@
+"""FIG7 — duopoly vs Public Option: market share and surplus vs price (Figure 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+PRICES = tuple(np.round(np.linspace(0.0, 1.0, 11), 6))
+NUS = (20.0, 100.0, 200.0)
+
+
+def test_fig07_duopoly_price(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.figure7_duopoly_price,
+                      population=paper_cps, nus=NUS, prices=PRICES, kappa=1.0)
+    record_report(result)
+    # Paper shapes: the market share rises with the price while the premium
+    # class stays saturated and then collapses; consumer surplus never drops
+    # to zero (the Public Option is the safety net); the strategic ISP's
+    # revenue vanishes at prohibitive prices.
+    assert result.findings["share_collapses_after_peak"]
+    assert result.findings["phi_stays_positive_at_c1"]
+    assert result.findings["psi_drops_to_zero_at_c1"]

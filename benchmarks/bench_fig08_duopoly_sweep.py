@@ -1,0 +1,22 @@
+"""FIG8 — duopoly vs Public Option: surplus and market share vs capacity (Figure 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+NUS = tuple(np.round(np.linspace(25.0, 500.0, 9), 6))
+
+
+def test_fig08_duopoly_capacity(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.figure8_duopoly_capacity,
+                      population=paper_cps, kappas=(0.3, 0.9),
+                      prices=(0.2, 0.8), nus=NUS)
+    record_report(result)
+    # Paper shapes: with abundant capacity the strategic ISP cannot push its
+    # share much beyond one half, and consumer surplus is nearly insensitive
+    # to its strategy.
+    assert result.findings["strategic_isp_capped_near_half_at_large_nu"]
+    assert result.findings["phi_insensitive_to_strategy"]

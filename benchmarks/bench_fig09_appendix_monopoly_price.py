@@ -1,0 +1,23 @@
+"""FIG9 — appendix: Figure 4 with phi independent of beta (Figure 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+PRICES = tuple(np.round(np.linspace(0.0, 1.0, 21), 6))
+NUS = (20.0, 50.0, 100.0, 150.0, 200.0)
+
+
+def test_fig09_appendix_monopoly_price(benchmark, record_report,
+                                       paper_cps_appendix):
+    result = run_once(benchmark, experiments.figure9_appendix_monopoly_price,
+                      population=paper_cps_appendix, nus=NUS, prices=PRICES,
+                      kappa=1.0)
+    record_report(result)
+    # The appendix finds the same qualitative regimes with the independent
+    # utility model as with the beta-correlated one.
+    assert result.findings["psi_linear_small_c"]
+    assert result.findings["monopoly_misaligned_when_capacity_abundant"]

@@ -1,0 +1,20 @@
+"""FIG10 — appendix: Figure 5 with phi independent of beta (Figure 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+NUS = tuple(np.round(np.linspace(20.0, 500.0, 9), 6))
+
+
+def test_fig10_appendix_monopoly_capacity(benchmark, record_report,
+                                          paper_cps_appendix):
+    result = run_once(benchmark, experiments.figure10_appendix_monopoly_capacity,
+                      population=paper_cps_appendix, kappas=(0.3, 0.6, 0.9),
+                      prices=(0.2, 0.5, 0.8), nus=NUS)
+    record_report(result)
+    assert result.findings["psi_high_kappa_geq_low_kappa_at_large_nu"]
+    assert result.findings["phi_low_kappa_geq_high_kappa_at_large_nu"]

@@ -1,0 +1,21 @@
+"""FIG11 — appendix: Figure 7 with phi independent of beta (Figure 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+PRICES = tuple(np.round(np.linspace(0.0, 1.0, 11), 6))
+NUS = (20.0, 100.0, 200.0)
+
+
+def test_fig11_appendix_duopoly_price(benchmark, record_report,
+                                      paper_cps_appendix):
+    result = run_once(benchmark, experiments.figure11_appendix_duopoly_price,
+                      population=paper_cps_appendix, nus=NUS, prices=PRICES,
+                      kappa=1.0)
+    record_report(result)
+    assert result.findings["phi_stays_positive_at_c1"]
+    assert result.findings["psi_drops_to_zero_at_c1"]

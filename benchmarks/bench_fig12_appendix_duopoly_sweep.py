@@ -1,0 +1,20 @@
+"""FIG12 — appendix: Figure 8 with phi independent of beta (Figure 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.simulation import experiments
+
+NUS = tuple(np.round(np.linspace(25.0, 500.0, 9), 6))
+
+
+def test_fig12_appendix_duopoly_capacity(benchmark, record_report,
+                                         paper_cps_appendix):
+    result = run_once(benchmark, experiments.figure12_appendix_duopoly_capacity,
+                      population=paper_cps_appendix, kappas=(0.3, 0.9),
+                      prices=(0.2, 0.8), nus=NUS)
+    record_report(result)
+    assert result.findings["strategic_isp_capped_near_half_at_large_nu"]
+    assert result.findings["phi_insensitive_to_strategy"]

@@ -1,0 +1,17 @@
+"""LEM4 — homogeneous strategies give market shares proportional to capacity (Lemma 4)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.strategy import ISPStrategy
+from repro.simulation import experiments
+
+
+def test_lemma4_proportional_shares(benchmark, record_report):
+    result = run_once(benchmark, experiments.lemma4_proportional_shares,
+                      nu=150.0,
+                      capacity_shares={"ISP-A": 0.5, "ISP-B": 0.3, "ISP-C": 0.2},
+                      strategy=ISPStrategy(0.6, 0.4), count=300)
+    record_report(result)
+    assert result.findings["lemma4_holds"]

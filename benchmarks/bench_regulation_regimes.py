@@ -1,0 +1,22 @@
+"""REG — the paper's headline ordering of regulatory regimes.
+
+Unregulated monopoly <= network-neutral regulation <= Public Option for the
+monopoly side, with oligopolistic competition delivering (at least) as much
+consumer surplus as neutral regulation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.simulation import experiments
+
+
+def test_regulation_regimes(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.regulation_regimes,
+                      population=paper_cps, nu=200.0,
+                      kappas=(0.5, 1.0), prices=(0.2, 0.45, 0.7))
+    record_report(result)
+    assert result.findings["paper_ordering_holds"]
+    ranking = result.findings["ranking"]
+    assert ranking[-1] in ("unregulated_monopoly", "neutral_monopoly")

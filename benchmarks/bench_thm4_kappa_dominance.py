@@ -1,0 +1,15 @@
+"""THM4 — kappa = 1 dominates smaller premium capacity shares (Theorem 4)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.simulation import experiments
+
+
+def test_thm4_kappa_dominance(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.theorem4_kappa_dominance,
+                      population=paper_cps, nus=(50.0, 150.0, 300.0),
+                      prices=(0.2, 0.5, 0.8), kappas=(0.25, 0.5, 0.75, 1.0))
+    record_report(result)
+    assert result.findings["kappa_one_dominates_everywhere"]

@@ -1,0 +1,16 @@
+"""THM5 — against a Public Option, market share and consumer surplus align (Theorem 5)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.simulation import experiments
+
+
+def test_thm5_public_option_alignment(benchmark, record_report, paper_cps):
+    result = run_once(benchmark, experiments.theorem5_public_option_alignment,
+                      population=paper_cps, nu=150.0,
+                      kappas=(0.5, 0.75, 1.0),
+                      prices=(0.1, 0.3, 0.5, 0.7, 0.9))
+    record_report(result)
+    assert result.findings["theorem5_holds_within_tolerance"]

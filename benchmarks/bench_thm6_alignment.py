@@ -1,0 +1,15 @@
+"""THM6 — market-share best responses are epsilon-best for consumer surplus (Theorem 6)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.simulation import experiments
+
+
+def test_thm6_alignment(benchmark, record_report):
+    result = run_once(benchmark, experiments.theorem6_alignment,
+                      nu=150.0, capacity_shares={"ISP-A": 0.5, "ISP-B": 0.5},
+                      kappas=(0.5, 1.0), prices=(0.2, 0.5, 0.8), count=300)
+    record_report(result)
+    assert result.findings["theorem6_bound_holds"]

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or checks one of its
+analytic claims) on the paper's 1000-CP workload, runs it exactly once via
+``benchmark.pedantic`` (the experiments are deterministic, so repeated
+timing rounds would only waste time) and writes the full plain-text report
+— tables plus qualitative findings — to ``benchmarks/reports/<id>.txt`` so
+the results can be inspected and compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.simulation.results import ExperimentResult
+from repro.workloads.populations import paper_population
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def paper_cps():
+    """The paper's main-text workload: 1000 CPs, phi ~ U[0, beta]."""
+    return paper_population(count=1000, utility_model="beta_correlated")
+
+
+@pytest.fixture(scope="session")
+def paper_cps_appendix():
+    """The appendix workload: same CPs, phi ~ U[0, U[0, 10]] independent of beta."""
+    return paper_population(count=1000, utility_model="independent")
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Write an experiment's report to ``benchmarks/reports/<id>.txt``."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        path = REPORT_DIR / f"{result.experiment_id.lower()}.txt"
+        path.write_text(result.report(max_rows=25) + "\n", encoding="utf-8")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, function, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

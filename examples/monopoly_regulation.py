@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Monopoly scenario: when does paid prioritisation hurt consumers?
+
+Reproduces the Section III analysis on the paper's random CP workload
+(scaled down to 300 CPs so the example runs in seconds):
+
+* sweep the premium price under ``kappa = 1`` at scarce and abundant
+  capacity (Figure 4's regimes);
+* find the monopolist's revenue-optimal strategy over a grid and compare
+  the resulting consumer surplus with strict neutral regulation and with
+  a Public Option ISP (the paper's headline ordering).
+
+Run with ``python examples/monopoly_regulation.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MonopolyGame, compare_regimes, paper_population, strategy_grid
+
+
+def price_sweep_report(game: MonopolyGame, label: str) -> None:
+    print(f"\n-- Premium price sweep under kappa = 1 ({label}) --")
+    print(f"{'price':>8} {'Psi':>10} {'Phi':>10} {'premium CPs':>12} {'saturated':>10}")
+    for price in np.linspace(0.05, 0.95, 10):
+        outcome = game.optimal_price([float(price)], kappa=1.0)
+        print(f"{price:>8.2f} {outcome.isp_surplus:>10.3f} "
+              f"{outcome.consumer_surplus:>10.3f} "
+              f"{outcome.premium_provider_count:>12d} "
+              f"{str(outcome.premium_saturated):>10}")
+
+
+def main() -> None:
+    population = paper_population(count=300)
+    load = population.unconstrained_per_capita_load
+    print(f"Population: {len(population)} CPs, saturation capacity "
+          f"nu* = {load:.1f}")
+
+    scarce = MonopolyGame(population, nu=0.25 * load)
+    abundant = MonopolyGame(population, nu=0.85 * load)
+    price_sweep_report(scarce, f"scarce capacity, nu={0.25 * load:.0f}")
+    price_sweep_report(abundant, f"abundant capacity, nu={0.85 * load:.0f}")
+
+    print("\n-- Regulatory regimes at abundant capacity --")
+    grid = strategy_grid(kappas=(0.25, 0.5, 0.75, 1.0),
+                         prices=(0.15, 0.3, 0.45, 0.6, 0.75))
+    comparison = compare_regimes(population, 0.85 * load, grid)
+    print(comparison.summary_table())
+    ordering = "holds" if comparison.paper_ordering_holds() else "does NOT hold"
+    print(f"\nPaper ordering (Public Option >= neutral >= unregulated): {ordering}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Oligopolistic competition: does the market need neutrality rules at all?
+
+Reproduces the Section IV-B analysis on a 200-CP workload with three ISPs
+of different sizes:
+
+* Lemma 4 — when all ISPs use the same strategy, market shares track
+  capacity shares, so ISPs grow by investing in capacity;
+* Theorem 6 — an ISP's best response for market share is (nearly) a best
+  response for consumer surplus;
+* an iterated best-response search for a market-share Nash equilibrium over
+  a small strategy grid, and the consumer surplus it delivers compared to
+  enforced neutrality.
+
+Run with ``python examples/oligopoly_competition.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ISPStrategy,
+    NEUTRAL_STRATEGY,
+    OligopolyGame,
+    paper_population,
+    strategy_grid,
+)
+
+
+def main() -> None:
+    population = paper_population(count=200)
+    load = population.unconstrained_per_capita_load
+    nu = 0.5 * load
+    shares = {"cable-co": 0.5, "telco": 0.3, "fiber-startup": 0.2}
+    game = OligopolyGame(population, total_nu=nu, capacity_shares=shares,
+                         migration_iterations=150)
+    print(f"{len(population)} CPs, nu = {nu:.1f}, capacity shares = {shares}")
+
+    # ------------------------------------------------------------------ #
+    # Lemma 4: homogeneous strategies -> proportional market shares.
+    # ------------------------------------------------------------------ #
+    strategy = ISPStrategy(kappa=1.0, price=0.3)
+    report = game.verify_proportional_shares(strategy, tolerance=0.02)
+    print("\n-- Lemma 4: homogeneous strategy", strategy.describe(), "--")
+    print("capacity shares :", {k: round(v, 3) for k, v in shares.items()})
+    print("market shares   :", {k: round(v, 3)
+                                for k, v in report["market_shares"].items()})
+    print("surplus equalisation gap at m=gamma:", f"{report['max_gap']:.2e}",
+          "->", "Lemma 4 holds" if report["holds"] else "Lemma 4 VIOLATED")
+
+    # ------------------------------------------------------------------ #
+    # Theorem 6: best responses for share vs for surplus.
+    # ------------------------------------------------------------------ #
+    candidates = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.4, 0.6),
+                               include_public_option=True)
+    baseline = {name: strategy for name in shares}
+    best_share, outcome_share, _ = game.best_response(
+        "cable-co", baseline, candidates, objective="market_share")
+    best_phi, outcome_phi, _ = game.best_response(
+        "cable-co", baseline, candidates, objective="consumer_surplus")
+    print("\n-- Theorem 6: cable-co's best responses --")
+    print(f"for market share    : {best_share.describe()}  "
+          f"(m={outcome_share.market_share('cable-co'):.3f}, "
+          f"Phi={outcome_share.consumer_surplus:.2f})")
+    print(f"for consumer surplus: {best_phi.describe()}  "
+          f"(m={outcome_phi.market_share('cable-co'):.3f}, "
+          f"Phi={outcome_phi.consumer_surplus:.2f})")
+
+    # ------------------------------------------------------------------ #
+    # Iterated best response to a (grid) Nash equilibrium.
+    # ------------------------------------------------------------------ #
+    profile, equilibrium, converged = game.find_nash_equilibrium(
+        candidates, objective="market_share", max_rounds=3)
+    print("\n-- Iterated best response (market share objective) --")
+    for name, chosen in profile.items():
+        print(f"  {name:>14}: {chosen.describe()}  "
+              f"m={equilibrium.market_share(name):.3f}")
+    print("converged to a grid Nash equilibrium:", converged)
+    print(f"consumer surplus under competition : {equilibrium.consumer_surplus:.2f}")
+
+    neutral = game.homogeneous_outcome(NEUTRAL_STRATEGY)
+    print(f"consumer surplus under forced neutrality: {neutral.consumer_surplus:.2f}")
+    print("\nCompetition keeps non-neutral ISPs aligned with consumers, so "
+          "neutrality regulation adds little (and can even hurt) in a "
+          "competitive market — the paper's Section IV conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: the three-party ecosystem model in a few lines.
+
+This walks through the paper's building blocks on the three archetype
+content providers (Google-, Netflix- and Skype-type):
+
+1. solve the rate equilibrium of a neutral bottleneck link (Section II);
+2. let a monopolistic ISP differentiate service with a premium class
+   (Section III) and see who joins and what it does to consumer surplus;
+3. introduce a Public Option ISP and watch the market split (Section IV-A).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DuopolyGame,
+    ISPStrategy,
+    MonopolyGame,
+    archetype_population,
+    solve_rate_equilibrium,
+)
+
+
+def main() -> None:
+    population = archetype_population()
+    print("Content providers:")
+    for cp in population:
+        print(f"  {cp.name:>8}: popularity={cp.alpha:.1f} "
+              f"theta_hat={cp.theta_hat:.1f} beta={cp.beta:.1f} "
+              f"v={cp.revenue_rate:.1f} phi={cp.utility_rate:.1f}")
+
+    # ------------------------------------------------------------------ #
+    # 1. Rate equilibrium on a neutral link (Theorem 1).
+    # ------------------------------------------------------------------ #
+    print("\n== Neutral link: rate equilibrium vs per-capita capacity ==")
+    for nu in (1.0, 2.0, 4.0, 6.0):
+        equilibrium = solve_rate_equilibrium(population, nu)
+        rates = ", ".join(f"{name}={theta:.2f}"
+                          for name, theta in equilibrium.throughput_by_name().items())
+        print(f"  nu={nu:>4.1f}: theta = {rates}   "
+              f"Phi={equilibrium.consumer_surplus():.3f}")
+
+    # ------------------------------------------------------------------ #
+    # 2. A monopolist sells a premium class (two-stage game, Section III).
+    # ------------------------------------------------------------------ #
+    print("\n== Monopolist with a premium class (kappa=1) ==")
+    monopoly = MonopolyGame(population, nu=3.0)
+    for price in (0.1, 0.3, 0.6):
+        outcome = monopoly.outcome(ISPStrategy(kappa=1.0, price=price))
+        premium = [name for name, side in
+                   outcome.partition.assignment_by_name().items()
+                   if side == "premium"]
+        print(f"  c={price:.1f}: premium class = {premium or ['(empty)']} "
+              f"Psi={outcome.isp_surplus:.3f} Phi={outcome.consumer_surplus:.3f}")
+    neutral = monopoly.neutral_outcome()
+    print(f"  neutral regulation:        Psi={neutral.isp_surplus:.3f} "
+          f"Phi={neutral.consumer_surplus:.3f}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Add a Public Option ISP (Section IV-A).
+    # ------------------------------------------------------------------ #
+    print("\n== Duopoly against a Public Option ISP ==")
+    duopoly = DuopolyGame(population, total_nu=3.0, strategic_capacity_share=0.5)
+    for price in (0.1, 0.3, 0.6):
+        outcome = duopoly.outcome(ISPStrategy(kappa=1.0, price=price))
+        print(f"  c={price:.1f}: market share of the non-neutral ISP "
+              f"m_I={outcome.market_share:.2f}  Phi={outcome.consumer_surplus:.3f} "
+              f"Psi_I={outcome.isp_surplus:.3f}")
+    print("\nConsumers migrate away from harmful differentiation, so the "
+          "non-neutral ISP's best move is the one that also maximises "
+          "consumer surplus (Theorem 5).")
+
+
+if __name__ == "__main__":
+    main()

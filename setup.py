@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy (non-PEP-517) editable installs — ``pip install -e .`` in
+offline environments without the ``wheel`` package — keep working.
+"""
+
+from setuptools import setup
+
+setup()

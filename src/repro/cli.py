@@ -1,0 +1,133 @@
+"""Command-line interface for the reproduction.
+
+Usage examples::
+
+    repro-netneutrality list
+    repro-netneutrality run FIG2
+    repro-netneutrality run FIG4 --count 500
+    repro-netneutrality regimes --nu 200
+    repro-netneutrality population --count 1000
+
+``run`` executes one of the figure / theorem reproductions from
+:mod:`repro.simulation.experiments` and prints its plain-text report
+(tables plus qualitative findings).  Everything the CLI prints is also
+available programmatically through the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.regulation import compare_regimes
+from repro.simulation import experiments
+from repro.simulation.results import ExperimentResult
+from repro.workloads.populations import paper_population
+
+__all__ = ["main", "build_parser", "EXPERIMENT_REGISTRY"]
+
+#: Maps experiment ids (as used in DESIGN.md / EXPERIMENTS.md) to functions.
+EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "FIG2": experiments.figure2_demand_curves,
+    "FIG3": experiments.figure3_maxmin_throughput,
+    "FIG4": experiments.figure4_monopoly_price,
+    "FIG5": experiments.figure5_monopoly_capacity,
+    "FIG7": experiments.figure7_duopoly_price,
+    "FIG8": experiments.figure8_duopoly_capacity,
+    "FIG9": experiments.figure9_appendix_monopoly_price,
+    "FIG10": experiments.figure10_appendix_monopoly_capacity,
+    "FIG11": experiments.figure11_appendix_duopoly_price,
+    "FIG12": experiments.figure12_appendix_duopoly_capacity,
+    "THM4": experiments.theorem4_kappa_dominance,
+    "THM5": experiments.theorem5_public_option_alignment,
+    "LEM4": experiments.lemma4_proportional_shares,
+    "THM6": experiments.theorem6_alignment,
+    "REG": experiments.regulation_regimes,
+}
+
+#: Experiments that accept a ``count`` keyword (the CP population size).
+_COUNT_AWARE = {key for key in EXPERIMENT_REGISTRY if key not in ("FIG2", "FIG3")}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-netneutrality",
+        description="Reproduction of 'The Public Option' (Ma & Misra, CoNEXT 2011)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENT_REGISTRY),
+                            help="experiment id (see DESIGN.md)")
+    run_parser.add_argument("--count", type=int, default=None,
+                            help="number of content providers (default: paper's 1000)")
+    run_parser.add_argument("--max-rows", type=int, default=12,
+                            help="maximum table rows per panel in the report")
+
+    regimes_parser = subparsers.add_parser(
+        "regimes", help="compare regulatory regimes at one capacity")
+    regimes_parser.add_argument("--nu", type=float, default=200.0,
+                                help="per-capita capacity")
+    regimes_parser.add_argument("--count", type=int, default=1000,
+                                help="number of content providers")
+
+    population_parser = subparsers.add_parser(
+        "population", help="describe the paper's random CP population")
+    population_parser.add_argument("--count", type=int, default=1000)
+    population_parser.add_argument("--utility-model", default="beta_correlated",
+                                   choices=("beta_correlated", "independent"))
+    return parser
+
+
+def _run_experiment(experiment_id: str, count: Optional[int],
+                    max_rows: int) -> str:
+    function = EXPERIMENT_REGISTRY[experiment_id]
+    kwargs = {}
+    if count is not None and experiment_id in _COUNT_AWARE:
+        kwargs["count"] = count
+    result = function(**kwargs)
+    return result.report(max_rows=max_rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENT_REGISTRY):
+            function = EXPERIMENT_REGISTRY[experiment_id]
+            summary = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id:<8} {summary}")
+        return 0
+    if args.command == "run":
+        print(_run_experiment(args.experiment, args.count, args.max_rows))
+        return 0
+    if args.command == "regimes":
+        population = paper_population(count=args.count)
+        comparison = compare_regimes(population, args.nu)
+        print(comparison.summary_table())
+        print()
+        ordering = "holds" if comparison.paper_ordering_holds() else "does NOT hold"
+        print(f"Paper's monopoly-side ordering (public option >= neutral >= "
+              f"unregulated) {ordering} at nu={args.nu:g}.")
+        return 0
+    if args.command == "population":
+        population = paper_population(count=args.count,
+                                      utility_model=args.utility_model)
+        for key, value in population.describe().items():
+            print(f"{key:>32}: {value:.4f}" if isinstance(value, float)
+                  else f"{key:>32}: {value}")
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

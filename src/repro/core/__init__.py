@@ -1,0 +1,71 @@
+"""The paper's game-theoretic contribution.
+
+This subpackage implements Sections III and IV of the paper on top of the
+rate-allocation substrate of :mod:`repro.network`:
+
+* :mod:`repro.core.strategy` — ISP strategies ``(kappa, c)`` and the Public
+  Option strategy ``(0, 0)``;
+* :mod:`repro.core.cp_game` — the second-stage simultaneous-move game in
+  which content providers choose a service class (Nash and competitive
+  equilibria, Definitions 2-3);
+* :mod:`repro.core.monopoly` — the two-stage monopoly game of Section III
+  (Theorem 4 and Figures 4-5);
+* :mod:`repro.core.migration` — consumer migration across ISPs until
+  per-capita consumer surplus equalises (Assumption 5, Definition 4);
+* :mod:`repro.core.duopoly` — the non-neutral ISP versus the Public Option
+  (Theorem 5, Figures 7-8);
+* :mod:`repro.core.oligopoly` — multi-ISP market-share competition
+  (Lemma 4, Theorem 6, Corollary 1);
+* :mod:`repro.core.alignment` — the discontinuity metrics of Equation (9);
+* :mod:`repro.core.regulation` — comparison of regulatory regimes;
+* :mod:`repro.core.surplus` — welfare accounting helpers.
+"""
+
+from repro.core.strategy import (
+    NEUTRAL_STRATEGY,
+    PUBLIC_OPTION_STRATEGY,
+    ISPStrategy,
+    strategy_grid,
+)
+from repro.core.cp_game import (
+    CPPartitionGame,
+    PartitionOutcome,
+    competitive_equilibrium,
+    nash_equilibrium,
+)
+from repro.core.surplus import SurplusBreakdown, welfare_report
+from repro.core.monopoly import MonopolyGame, MonopolyOutcome
+from repro.core.migration import IspConfig, MarketSplit, solve_market_split
+from repro.core.duopoly import DuopolyGame, DuopolyOutcome
+from repro.core.oligopoly import OligopolyGame, OligopolyOutcome
+from repro.core.alignment import (
+    market_share_discontinuity,
+    surplus_discontinuity,
+)
+from repro.core.regulation import RegimeComparison, compare_regimes
+
+__all__ = [
+    "ISPStrategy",
+    "PUBLIC_OPTION_STRATEGY",
+    "NEUTRAL_STRATEGY",
+    "strategy_grid",
+    "CPPartitionGame",
+    "PartitionOutcome",
+    "competitive_equilibrium",
+    "nash_equilibrium",
+    "SurplusBreakdown",
+    "welfare_report",
+    "MonopolyGame",
+    "MonopolyOutcome",
+    "IspConfig",
+    "MarketSplit",
+    "solve_market_split",
+    "DuopolyGame",
+    "DuopolyOutcome",
+    "OligopolyGame",
+    "OligopolyOutcome",
+    "surplus_discontinuity",
+    "market_share_discontinuity",
+    "RegimeComparison",
+    "compare_regimes",
+]

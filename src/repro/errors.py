@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses are
+raised by the individual subsystems:
+
+* model-construction problems (bad parameters, demand functions that violate
+  Assumption 1, strategies outside the feasible region) raise
+  :class:`ModelValidationError`;
+* numerical solvers that fail to converge raise :class:`ConvergenceError`;
+* rate-allocation mechanisms that produce allocations violating the paper's
+  axioms raise :class:`AxiomViolationError`;
+* game solvers that cannot certify an equilibrium raise
+  :class:`EquilibriumError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelValidationError",
+    "ConvergenceError",
+    "AxiomViolationError",
+    "EquilibriumError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ModelValidationError(ReproError, ValueError):
+    """Raised when model inputs are malformed or violate paper assumptions.
+
+    Examples include a negative capacity, a content-provider popularity
+    outside ``(0, 1]``, a demand function that decreases with throughput
+    (violating Assumption 1) or an ISP strategy with ``kappa`` outside
+    ``[0, 1]``.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative numerical solver does not converge.
+
+    Carries the last iterate and the residual so callers can decide whether
+    the partial answer is acceptable.
+    """
+
+    def __init__(self, message: str, *, residual: float | None = None,
+                 iterations: int | None = None) -> None:
+        super().__init__(message)
+        self.residual = residual
+        self.iterations = iterations
+
+
+class AxiomViolationError(ReproError, AssertionError):
+    """Raised when a rate allocation violates Axioms 1-4 of the paper."""
+
+    def __init__(self, axiom: str, message: str) -> None:
+        super().__init__(f"{axiom}: {message}")
+        self.axiom = axiom
+
+
+class EquilibriumError(ReproError, RuntimeError):
+    """Raised when a game solver cannot produce or certify an equilibrium."""

@@ -1,0 +1,392 @@
+"""Rate-allocation mechanisms (Section II-B, Definition 1, Axioms 1-4).
+
+A rate-allocation mechanism maps a *fixed* demand profile ``{d_i}`` to an
+achievable per-user throughput profile ``{theta_i}`` subject to the link's
+per-capita capacity ``nu``.  The paper requires four axioms:
+
+* Axiom 1 (feasibility): ``theta_i <= theta_hat_i``;
+* Axiom 2 (work conservation): the aggregate per-capita rate equals
+  ``min(nu, sum_i alpha_i d_i theta_hat_i)`` — capacity is fully used
+  whenever demand exceeds it;
+* Axiom 3 (monotonicity): more capacity never reduces any ``theta_i``;
+* Axiom 4 (independence of scale): only the per-capita capacity
+  ``nu = mu / M`` matters.
+
+All mechanisms in this module operate directly on per-capita quantities so
+Axiom 4 holds by construction.  The paper's numerical work uses the max-min
+fair mechanism (the first-order model of TCP's AIMD behaviour, following
+Mo & Walrand); we additionally provide weighted-fair, alpha-proportional
+fair, proportional-to-demand and strict-priority mechanisms, both as
+alternative substrates and as counter-examples for the axiom checker (strict
+priority is work-conserving and monotone but decidedly not neutral).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ModelValidationError
+from repro.network.provider import Population
+
+__all__ = [
+    "RateAllocationMechanism",
+    "CommonCapAllocation",
+    "MaxMinFairAllocation",
+    "WeightedFairAllocation",
+    "ProportionalToDemandAllocation",
+    "ProportionalFairAllocation",
+    "AlphaFairAllocation",
+    "StrictPriorityAllocation",
+]
+
+_BISECTION_ITERATIONS = 200
+_BISECTION_TOLERANCE = 1e-12
+
+
+def _validate_inputs(population: Population, demands: Sequence[float],
+                     nu: float) -> np.ndarray:
+    """Common validation for ``allocate`` implementations."""
+    demands_arr = np.asarray(demands, dtype=float)
+    if demands_arr.shape != (len(population),):
+        raise ModelValidationError(
+            f"demand profile has shape {demands_arr.shape}, expected ({len(population)},)"
+        )
+    if np.any(demands_arr < -1e-12) or np.any(demands_arr > 1.0 + 1e-12):
+        raise ModelValidationError("demands must lie in [0, 1]")
+    if not math.isfinite(nu) or nu < 0.0:
+        raise ModelValidationError(f"per-capita capacity must be >= 0, got {nu!r}")
+    return np.clip(demands_arr, 0.0, 1.0)
+
+
+class RateAllocationMechanism(ABC):
+    """Base class for rate-allocation mechanisms (Definition 1)."""
+
+    @abstractmethod
+    def allocate(self, population: Population, demands: Sequence[float],
+                 nu: float) -> np.ndarray:
+        """Per-user throughput profile for a fixed demand profile.
+
+        Parameters
+        ----------
+        population:
+            The content providers sharing the link (or service class).
+        demands:
+            Fixed demand fractions ``d_i`` in ``[0, 1]``, one per provider.
+        nu:
+            Per-capita capacity of the link (``mu / M``).
+
+        Returns
+        -------
+        numpy.ndarray
+            Achievable throughput ``theta_i`` for each provider, satisfying
+            Axioms 1 and 2 for the given (fixed) demands.
+        """
+
+    # Aggregate helpers shared by implementations -------------------------
+    @staticmethod
+    def offered_load(population: Population, demands: np.ndarray) -> float:
+        """Per-capita load if every active user got unconstrained throughput."""
+        return float(np.sum(population.alphas * demands * population.theta_hats))
+
+    @staticmethod
+    def carried_load(population: Population, demands: np.ndarray,
+                     thetas: np.ndarray) -> float:
+        """Per-capita aggregate rate ``sum_i alpha_i d_i theta_i``."""
+        return float(np.sum(population.alphas * demands * thetas))
+
+
+class CommonCapAllocation(RateAllocationMechanism):
+    """Mechanisms whose allocation is ``theta_i = min(theta_hat_i, g_i(cap))``.
+
+    ``g_i`` must be continuous and non-decreasing in the scalar ``cap`` and
+    independent of the demand profile; the mechanism then finds the smallest
+    cap at which the carried load reaches ``min(nu, offered load)``.  The
+    max-min fair, weighted-fair and proportional-to-demand mechanisms are all
+    of this form, which also gives the rate-equilibrium solver a fast exact
+    path (see :mod:`repro.network.equilibrium`).
+    """
+
+    @abstractmethod
+    def theta_at_cap(self, population: Population, cap: float) -> np.ndarray:
+        """Throughput profile at scalar cap level ``cap >= 0``."""
+
+    def cap_upper_bound(self, population: Population) -> float:
+        """A cap value at which every provider reaches ``theta_hat``."""
+        return float(np.max(population.theta_hats)) if len(population) else 0.0
+
+    def allocate(self, population: Population, demands: Sequence[float],
+                 nu: float) -> np.ndarray:
+        demands_arr = _validate_inputs(population, demands, nu)
+        if len(population) == 0:
+            return np.zeros(0)
+        offered = self.offered_load(population, demands_arr)
+        target = min(nu, offered)
+        if target <= 0.0:
+            # No capacity or no demand: only providers with zero active users
+            # can be given their unconstrained rate without carrying load.
+            return np.where(demands_arr * population.alphas > 0.0,
+                            0.0, population.theta_hats)
+        upper = self.cap_upper_bound(population)
+        if self.carried_load(population, demands_arr,
+                             self.theta_at_cap(population, upper)) <= target + 1e-15:
+            return population.theta_hats.copy()
+        low, high = 0.0, upper
+        for _ in range(_BISECTION_ITERATIONS):
+            mid = 0.5 * (low + high)
+            carried = self.carried_load(
+                population, demands_arr, self.theta_at_cap(population, mid))
+            if carried < target:
+                low = mid
+            else:
+                high = mid
+            if high - low <= _BISECTION_TOLERANCE * max(1.0, upper):
+                break
+        return self.theta_at_cap(population, high)
+
+
+class MaxMinFairAllocation(CommonCapAllocation):
+    """Max-min fair sharing among *users* — the paper's default mechanism.
+
+    Every active user receives the same throughput cap, truncated at the
+    application's unconstrained throughput: ``theta_i = min(theta_hat_i, t)``.
+    This is the ``alpha = infinity`` member of the alpha-proportional-fair
+    family and the first-order behaviour of TCP AIMD over a shared
+    bottleneck.
+    """
+
+    def theta_at_cap(self, population: Population, cap: float) -> np.ndarray:
+        return np.minimum(population.theta_hats, cap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MaxMinFairAllocation()"
+
+
+class WeightedFairAllocation(CommonCapAllocation):
+    """Weighted max-min fairness: ``theta_i = min(theta_hat_i, w_i * t)``.
+
+    Weights model per-class scheduling (e.g. WFQ) or persistent differences
+    in round-trip time between providers.  Weights must be positive; they are
+    matched to providers by name so a weight map can be reused across
+    sub-populations (service classes).
+    """
+
+    def __init__(self, weights: dict[str, float], default_weight: float = 1.0) -> None:
+        for name, weight in weights.items():
+            if weight <= 0.0 or not math.isfinite(weight):
+                raise ModelValidationError(
+                    f"weight for {name!r} must be positive, got {weight!r}"
+                )
+        if default_weight <= 0.0 or not math.isfinite(default_weight):
+            raise ModelValidationError(
+                f"default_weight must be positive, got {default_weight!r}"
+            )
+        self.weights = dict(weights)
+        self.default_weight = float(default_weight)
+
+    def _weight_vector(self, population: Population) -> np.ndarray:
+        return np.array(
+            [self.weights.get(name, self.default_weight) for name in population.names],
+            dtype=float,
+        )
+
+    def theta_at_cap(self, population: Population, cap: float) -> np.ndarray:
+        return np.minimum(population.theta_hats,
+                          self._weight_vector(population) * cap)
+
+    def cap_upper_bound(self, population: Population) -> float:
+        if len(population) == 0:
+            return 0.0
+        weights = self._weight_vector(population)
+        return float(np.max(population.theta_hats / weights))
+
+
+class ProportionalToDemandAllocation(CommonCapAllocation):
+    """Every provider gets the same *fraction* of its unconstrained throughput.
+
+    ``theta_i = omega * theta_hat_i`` with a common fraction ``omega``; under
+    congestion heavy applications are squeezed proportionally harder in
+    absolute terms.  This mimics a fair-queueing discipline that weights
+    flows by their offered rate.
+    """
+
+    def theta_at_cap(self, population: Population, cap: float) -> np.ndarray:
+        theta_max = float(np.max(population.theta_hats))
+        omega = min(1.0, cap / theta_max) if theta_max > 0 else 0.0
+        return omega * population.theta_hats
+
+
+class AlphaFairAllocation(RateAllocationMechanism):
+    """Alpha-proportional fairness over provider *aggregates* (Mo & Walrand).
+
+    The mechanism maximises ``sum_i U_alpha(Lambda_i)`` over the per-capita
+    aggregate rates ``Lambda_i = alpha_i d_i theta_i`` subject to the capacity
+    constraint, where ``U_alpha`` is the standard alpha-fair utility.  The KKT
+    conditions give a common cap on the *aggregate* rate,
+    ``Lambda_i = min(alpha_i d_i theta_hat_i, ell)``, independent of the value
+    of ``alpha > 0`` (the family differs only through dynamics, not through
+    the static optimum, when each aggregate is treated as one flow).
+
+    Note the contrast with :class:`MaxMinFairAllocation`: there fairness is
+    applied per *user*, so popular providers receive proportionally more
+    aggregate capacity; here fairness is applied per *provider aggregate*, so
+    a provider's popularity does not help it.  When fairness per user is
+    requested (``per_user=True``) the mechanism simply defers to max-min
+    fairness, which is the exact static optimum in that case.
+    """
+
+    def __init__(self, alpha: float = 1.0, per_user: bool = False) -> None:
+        if alpha <= 0.0 or not math.isfinite(alpha):
+            raise ModelValidationError(f"alpha must be positive, got {alpha!r}")
+        self.alpha = float(alpha)
+        self.per_user = bool(per_user)
+        self._per_user_mechanism = MaxMinFairAllocation()
+
+    def allocate(self, population: Population, demands: Sequence[float],
+                 nu: float) -> np.ndarray:
+        demands_arr = _validate_inputs(population, demands, nu)
+        if len(population) == 0:
+            return np.zeros(0)
+        if self.per_user:
+            return self._per_user_mechanism.allocate(population, demands_arr, nu)
+        weights = population.alphas * demands_arr
+        unconstrained = weights * population.theta_hats
+        offered = float(np.sum(unconstrained))
+        target = min(nu, offered)
+        if target >= offered - 1e-15:
+            return population.theta_hats.copy()
+        if target <= 0.0:
+            return np.where(weights > 0.0, 0.0, population.theta_hats)
+        # Water-fill a common cap ell over the aggregates.
+        low, high = 0.0, float(np.max(unconstrained))
+        for _ in range(_BISECTION_ITERATIONS):
+            mid = 0.5 * (low + high)
+            carried = float(np.sum(np.minimum(unconstrained, mid)))
+            if carried < target:
+                low = mid
+            else:
+                high = mid
+            if high - low <= _BISECTION_TOLERANCE * max(1.0, high):
+                break
+        aggregates = np.minimum(unconstrained, high)
+        thetas = np.where(weights > 0.0, aggregates / np.maximum(weights, 1e-300),
+                          population.theta_hats)
+        return np.minimum(thetas, population.theta_hats)
+
+
+class ProportionalFairAllocation(AlphaFairAllocation):
+    """Proportional fairness (``alpha = 1``) over provider aggregates."""
+
+    def __init__(self, per_user: bool = False) -> None:
+        super().__init__(alpha=1.0, per_user=per_user)
+
+
+class StrictPriorityAllocation(RateAllocationMechanism):
+    """Strict priority among providers, in a caller-supplied order.
+
+    Providers earlier in ``priority_order`` are served to their unconstrained
+    throughput before later providers receive anything.  The mechanism is
+    work-conserving, monotone and scale independent — it satisfies the
+    paper's axioms — but it is the canonical example of a *non-neutral*
+    discipline, and is used in tests and ablation benchmarks to show how the
+    substrate changes the games' conclusions.
+    """
+
+    def __init__(self, priority_order: Optional[Sequence[str]] = None) -> None:
+        self.priority_order = list(priority_order) if priority_order else None
+
+    def _ordered_indices(self, population: Population) -> list[int]:
+        if self.priority_order is None:
+            return list(range(len(population)))
+        position = {name: rank for rank, name in enumerate(self.priority_order)}
+        return sorted(
+            range(len(population)),
+            key=lambda i: position.get(population.names[i], len(position)),
+        )
+
+    def allocate(self, population: Population, demands: Sequence[float],
+                 nu: float) -> np.ndarray:
+        demands_arr = _validate_inputs(population, demands, nu)
+        if len(population) == 0:
+            return np.zeros(0)
+        thetas = np.zeros(len(population))
+        remaining = float(nu)
+        alphas = population.alphas
+        theta_hats = population.theta_hats
+        for i in self._ordered_indices(population):
+            weight = alphas[i] * demands_arr[i]
+            if weight <= 0.0:
+                # A provider with no active users carries no load; it can be
+                # granted unconstrained throughput when capacity remains, and
+                # nothing when the higher-priority classes already exhausted
+                # the link (keeping the allocation continuous in the demand).
+                thetas[i] = theta_hats[i] if remaining > 0.0 else 0.0
+                continue
+            full_load = weight * theta_hats[i]
+            if remaining >= full_load:
+                thetas[i] = theta_hats[i]
+                remaining -= full_load
+            else:
+                thetas[i] = remaining / weight
+                remaining = 0.0
+        return thetas
+
+
+def fixed_point_allocation(mechanism: RateAllocationMechanism,
+                           population: Population, nu: float, *,
+                           damping: float = 0.5, max_iterations: int = 10_000,
+                           tolerance: float = 1e-9) -> np.ndarray:
+    """Solve the demand/allocation fixed point for an arbitrary mechanism.
+
+    This is the generic (slow) path used by the rate-equilibrium solver when
+    the mechanism is not cap-based: iterate
+    ``theta <- (1 - damping) * theta + damping * allocate(d(theta), nu)``
+    until the profile stabilises.  Steep demand functions can make the
+    un-damped map expansive, so the damping factor is halved whenever the
+    step size stops shrinking; this adaptive relaxation converges for every
+    mechanism satisfying the paper's axioms.
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration does not reach ``tolerance`` within
+        ``max_iterations`` steps.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ModelValidationError(f"damping must lie in (0, 1], got {damping!r}")
+    thetas = population.theta_hats.copy()
+    if len(population) == 0:
+        return thetas
+    scale = float(np.max(population.theta_hats))
+    gamma = damping
+    best_residual = math.inf
+    stalled = 0
+    residual = math.inf
+    for iteration in range(max_iterations):
+        demands = population.demands_at(thetas)
+        updated = mechanism.allocate(population, demands, nu)
+        step = gamma * (updated - thetas)
+        thetas = thetas + step
+        residual = float(np.max(np.abs(step)))
+        if residual <= tolerance * max(1.0, scale):
+            return thetas
+        # A period-two oscillation leaves the step size roughly constant, so
+        # progress is judged against the best residual seen so far rather
+        # than the immediately preceding one.
+        if residual < 0.9 * best_residual:
+            best_residual = residual
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= 5:
+                gamma = max(gamma * 0.5, 1e-4)
+                stalled = 0
+                best_residual = residual
+    raise ConvergenceError(
+        "fixed-point allocation did not converge",
+        residual=residual,
+        iterations=max_iterations,
+    )

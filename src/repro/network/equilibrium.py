@@ -1,0 +1,238 @@
+"""Rate equilibrium of a system ``(M, mu, N)`` (Theorem 1, Lemma 1).
+
+The demand functions map achievable throughput to demand; the rate-allocation
+mechanism maps fixed demands back to achievable throughput.  Their interplay
+has a unique fixed point — the *rate equilibrium* — under Assumption 1 and
+Axioms 1-3 (Theorem 1 of the paper).  By Axiom 4 the equilibrium depends on
+consumers and capacity only through the per-capita capacity ``nu = mu / M``
+(Lemma 1), so the solver works entirely in per-capita terms.
+
+Two solution paths are provided:
+
+* an exact path for :class:`~repro.network.allocation.CommonCapAllocation`
+  mechanisms (including the paper's max-min fair mechanism): the equilibrium
+  is characterised by a scalar throughput cap, found by bisection on the
+  work-conservation equation of Axiom 2;
+* a generic damped fixed-point iteration for arbitrary mechanisms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelValidationError
+from repro.network.allocation import (
+    CommonCapAllocation,
+    MaxMinFairAllocation,
+    RateAllocationMechanism,
+    fixed_point_allocation,
+)
+from repro.network.provider import Population
+
+__all__ = ["RateEquilibrium", "solve_rate_equilibrium"]
+
+_BISECTION_ITERATIONS = 200
+
+
+@dataclass(frozen=True)
+class RateEquilibrium:
+    """The unique rate equilibrium of a (sub)system at per-capita capacity ``nu``.
+
+    Attributes
+    ----------
+    population:
+        Providers sharing the capacity.
+    nu:
+        Per-capita capacity of the (sub)system.
+    thetas:
+        Equilibrium per-user achievable throughput ``theta_i``.
+    demands:
+        Equilibrium demand fractions ``d_i(theta_i)``.
+    """
+
+    population: Population
+    nu: float
+    thetas: np.ndarray
+    demands: np.ndarray
+    mechanism_name: str = "MaxMinFairAllocation"
+    #: For cap-parameterised mechanisms: the common throughput cap at
+    #: equilibrium (``+inf`` when the class is uncongested, ``0`` when it has
+    #: no capacity).  Used by the competitive-equilibrium "throughput-taking"
+    #: estimator of Definition 3.
+    common_cap: float = float("inf")
+
+    # ---------------------------------------------------------------- #
+    # Derived per-capita quantities (all per consumer, i.e. divided by M).
+    # ---------------------------------------------------------------- #
+    @property
+    def rhos(self) -> np.ndarray:
+        """Per capita throughput over each CP's own user base (Equation 5)."""
+        return self.demands * self.thetas
+
+    @property
+    def per_capita_rates(self) -> np.ndarray:
+        """Per-consumer rate contribution ``alpha_i d_i theta_i`` of each CP."""
+        return self.population.alphas * self.rhos
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Per-capita aggregate carried rate ``lambda_N / M``."""
+        return float(np.sum(self.per_capita_rates))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the per-capita capacity carried (1.0 when congested)."""
+        if self.nu <= 0.0:
+            return 0.0
+        return min(1.0, self.aggregate_rate / self.nu)
+
+    @property
+    def is_congested(self) -> bool:
+        """True when the capacity cannot serve all unconstrained demand."""
+        return self.nu < self.population.unconstrained_per_capita_load - 1e-12
+
+    @property
+    def omegas(self) -> np.ndarray:
+        """Fraction of unconstrained throughput achieved, ``theta_i/theta_hat_i``."""
+        return self.thetas / self.population.theta_hats
+
+    def consumer_surplus(self) -> float:
+        """Per-capita consumer surplus ``Phi = sum_i phi_i alpha_i d_i theta_i``."""
+        return float(np.sum(self.population.utility_rates * self.per_capita_rates))
+
+    def provider_rate(self, index: int) -> float:
+        """Per-capita rate of a single provider (by index in ``population``)."""
+        return float(self.per_capita_rates[index])
+
+    def provider_rho(self, index: int) -> float:
+        """Per-user-base throughput ``rho_i`` of a single provider."""
+        return float(self.rhos[index])
+
+    def premium_revenue(self, price: float) -> float:
+        """Per-capita ISP revenue if every provider here paid ``price``/unit."""
+        if price < 0.0:
+            raise ModelValidationError("price must be non-negative")
+        return price * self.aggregate_rate
+
+    def throughput_by_name(self) -> dict[str, float]:
+        """Mapping from provider name to equilibrium ``theta_i``."""
+        return dict(zip(self.population.names, map(float, self.thetas)))
+
+    def scaled(self, consumers: float) -> dict[str, float]:
+        """Absolute aggregate rates ``lambda_i`` for a consumer size ``M``."""
+        if consumers < 0.0:
+            raise ModelValidationError("consumer size must be non-negative")
+        return {
+            name: consumers * float(rate)
+            for name, rate in zip(self.population.names, self.per_capita_rates)
+        }
+
+
+def _empty_equilibrium(population: Population, nu: float,
+                       mechanism: RateAllocationMechanism) -> RateEquilibrium:
+    return RateEquilibrium(
+        population=population,
+        nu=nu,
+        thetas=np.zeros(0),
+        demands=np.zeros(0),
+        mechanism_name=type(mechanism).__name__,
+    )
+
+
+def _zero_capacity_equilibrium(population: Population,
+                               mechanism: RateAllocationMechanism,
+                               nu: float) -> RateEquilibrium:
+    """Equilibrium when ``nu`` is zero: no throughput can be carried."""
+    thetas = np.zeros(len(population))
+    demands = population.demands_at(thetas)
+    return RateEquilibrium(population, nu, thetas, demands,
+                           mechanism_name=type(mechanism).__name__,
+                           common_cap=0.0)
+
+
+def _common_cap_equilibrium(population: Population, nu: float,
+                            mechanism: CommonCapAllocation) -> RateEquilibrium:
+    """Exact equilibrium for cap-parameterised mechanisms.
+
+    The equilibrium profile is ``theta_i = theta_i(cap)`` where the cap solves
+    the work-conservation equation
+    ``sum_i alpha_i d_i(theta_i(cap)) theta_i(cap) = min(nu, sum_i alpha_i theta_hat_i)``.
+    The left side is continuous and non-decreasing in the cap (demands are
+    non-decreasing in throughput by Assumption 1), so bisection finds the
+    unique solution of Theorem 1.
+    """
+    alphas = population.alphas
+    theta_hats = population.theta_hats
+    unconstrained_load = float(np.sum(alphas * theta_hats))
+    target = min(nu, unconstrained_load)
+
+    def carried(cap: float) -> tuple[float, np.ndarray, np.ndarray]:
+        thetas = mechanism.theta_at_cap(population, cap)
+        demands = population.demands_at(thetas)
+        return float(np.sum(alphas * demands * thetas)), thetas, demands
+
+    upper = mechanism.cap_upper_bound(population)
+    carried_at_upper, thetas_up, demands_up = carried(upper)
+    if nu >= unconstrained_load - 1e-15 or carried_at_upper <= target + 1e-15:
+        return RateEquilibrium(population, nu, thetas_up, demands_up,
+                               mechanism_name=type(mechanism).__name__,
+                               common_cap=float("inf"))
+
+    low, high = 0.0, upper
+    for _ in range(_BISECTION_ITERATIONS):
+        mid = 0.5 * (low + high)
+        value, _, _ = carried(mid)
+        if value < target:
+            low = mid
+        else:
+            high = mid
+        if high - low <= 1e-14 * max(1.0, upper):
+            break
+    _, thetas, demands = carried(high)
+    return RateEquilibrium(population, nu, thetas, demands,
+                           mechanism_name=type(mechanism).__name__,
+                           common_cap=high)
+
+
+def solve_rate_equilibrium(population: Population, nu: float,
+                           mechanism: Optional[RateAllocationMechanism] = None,
+                           ) -> RateEquilibrium:
+    """Compute the unique rate equilibrium of ``(M, mu, N)`` at ``nu = mu/M``.
+
+    Parameters
+    ----------
+    population:
+        Content providers sharing the capacity (the set ``N`` or one of the
+        two service classes).
+    nu:
+        Per-capita capacity.  Passing the capacity of a service class (e.g.
+        ``kappa * nu`` for the premium class) yields that class's internal
+        equilibrium, exactly as in the paper's two-class analysis.
+    mechanism:
+        The rate-allocation mechanism; defaults to the paper's max-min fair
+        mechanism.
+
+    Returns
+    -------
+    RateEquilibrium
+        Equilibrium throughput/demand profile and derived surplus accessors.
+    """
+    if not math.isfinite(nu) or nu < 0.0:
+        raise ModelValidationError(f"per-capita capacity must be >= 0, got {nu!r}")
+    if mechanism is None:
+        mechanism = MaxMinFairAllocation()
+    if len(population) == 0:
+        return _empty_equilibrium(population, nu, mechanism)
+    if nu == 0.0:
+        return _zero_capacity_equilibrium(population, mechanism, nu)
+    if isinstance(mechanism, CommonCapAllocation):
+        return _common_cap_equilibrium(population, nu, mechanism)
+    thetas = fixed_point_allocation(mechanism, population, nu)
+    demands = np.array([cp.demand_at(theta)
+                        for cp, theta in zip(population, thetas)])
+    return RateEquilibrium(population, nu, thetas, demands,
+                           mechanism_name=type(mechanism).__name__)

@@ -1,0 +1,141 @@
+"""Bottleneck-link and service-class models (Section III-A).
+
+The paper's non-neutral ISP splits its last-mile bottleneck of capacity
+``mu`` into an *ordinary* class with capacity ``(1 - kappa) mu`` (free to
+CPs) and a *premium* class with capacity ``kappa mu`` charged at ``c`` per
+unit of traffic — a Paris-Metro-Pricing style two-class discipline.  This
+module provides the small value classes describing links and their class
+structure; the game layer combines them with populations and strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ModelValidationError
+
+__all__ = ["BottleneckLink", "ServiceClassSpec", "TwoClassLink",
+           "ORDINARY_CLASS", "PREMIUM_CLASS"]
+
+#: Canonical class names used across the package.
+ORDINARY_CLASS = "ordinary"
+PREMIUM_CLASS = "premium"
+
+
+@dataclass(frozen=True)
+class BottleneckLink:
+    """A last-mile bottleneck link shared by all flows towards the consumers.
+
+    ``capacity`` is the absolute capacity ``mu``; per-capita capacity is
+    obtained by dividing by the consumer size served through the link.
+    """
+
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.capacity) or self.capacity < 0.0:
+            raise ModelValidationError(
+                f"link capacity must be non-negative and finite, got {self.capacity!r}"
+            )
+
+    def per_capita(self, consumers: float) -> float:
+        """Per-capita capacity ``nu = mu / M`` (Axiom 4's invariant)."""
+        if consumers <= 0.0:
+            raise ModelValidationError("consumer size must be positive")
+        return self.capacity / consumers
+
+    def scaled(self, factor: float) -> "BottleneckLink":
+        """Link with capacity scaled by ``factor`` (used in Axiom 4 checks)."""
+        if factor <= 0.0:
+            raise ModelValidationError("scale factor must be positive")
+        return BottleneckLink(self.capacity * factor)
+
+
+@dataclass(frozen=True)
+class ServiceClassSpec:
+    """One service class of a (possibly) differentiated link.
+
+    Attributes
+    ----------
+    name:
+        Class identifier (``"ordinary"`` or ``"premium"`` for the paper's
+        two-class model).
+    capacity_share:
+        Fraction of the link capacity devoted to this class.
+    price:
+        Per-unit-traffic charge levied on CPs that join this class.
+    """
+
+    name: str
+    capacity_share: float
+    price: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelValidationError("service class needs a non-empty name")
+        if not 0.0 <= self.capacity_share <= 1.0:
+            raise ModelValidationError(
+                f"capacity_share must lie in [0, 1], got {self.capacity_share!r}"
+            )
+        if not math.isfinite(self.price) or self.price < 0.0:
+            raise ModelValidationError(
+                f"price must be non-negative and finite, got {self.price!r}"
+            )
+
+    def capacity(self, link: BottleneckLink) -> float:
+        """Absolute capacity of this class on the given link."""
+        return self.capacity_share * link.capacity
+
+    def per_capita_capacity(self, nu: float) -> float:
+        """Per-capita capacity of this class given the link's total ``nu``."""
+        if nu < 0.0:
+            raise ModelValidationError("per-capita capacity must be non-negative")
+        return self.capacity_share * nu
+
+
+@dataclass(frozen=True)
+class TwoClassLink:
+    """The paper's PMP-style two-class split of a bottleneck link.
+
+    ``kappa`` of the capacity forms the premium class priced at
+    ``premium_price``; the remainder forms the free ordinary class.
+    """
+
+    link: BottleneckLink
+    kappa: float
+    premium_price: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kappa <= 1.0:
+            raise ModelValidationError(
+                f"kappa must lie in [0, 1], got {self.kappa!r}"
+            )
+        if not math.isfinite(self.premium_price) or self.premium_price < 0.0:
+            raise ModelValidationError(
+                f"premium_price must be non-negative, got {self.premium_price!r}"
+            )
+
+    @property
+    def ordinary(self) -> ServiceClassSpec:
+        """The free ordinary class with capacity share ``1 - kappa``."""
+        return ServiceClassSpec(ORDINARY_CLASS, 1.0 - self.kappa, 0.0)
+
+    @property
+    def premium(self) -> ServiceClassSpec:
+        """The charged premium class with capacity share ``kappa``."""
+        return ServiceClassSpec(PREMIUM_CLASS, self.kappa, self.premium_price)
+
+    @property
+    def classes(self) -> Tuple[ServiceClassSpec, ServiceClassSpec]:
+        return (self.ordinary, self.premium)
+
+    @property
+    def is_neutral(self) -> bool:
+        """True when the split carries no paid prioritisation.
+
+        A link is effectively neutral when there is no premium capacity
+        (``kappa = 0``) or the premium class is free (``price = 0``).
+        """
+        return self.kappa == 0.0 or self.premium_price == 0.0

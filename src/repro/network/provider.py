@@ -1,0 +1,308 @@
+"""Content-provider model and populations (Section II of the paper).
+
+Each content provider (CP) ``i`` is described by:
+
+* ``alpha`` — popularity, the fraction of consumers that ever access the CP
+  (``alpha_i`` in the paper, in ``(0, 1]``);
+* ``theta_hat`` — the unconstrained per-user throughput (``theta_hat_i``);
+* ``beta`` — throughput sensitivity, the shape parameter of the exponential
+  demand function of Equation (3);
+* ``revenue_rate`` — the CP-side per-unit-traffic revenue ``v_i`` used when
+  the CP decides whether to pay for the premium class;
+* ``utility_rate`` — the consumer-side per-unit-traffic utility ``phi_i``
+  entering the consumer surplus.
+
+A CP may override the default exponential demand function with any
+:class:`~repro.network.demand.DemandFunction`.  :class:`Population` is an
+immutable ordered collection of CPs with vectorised accessors used by the
+solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelValidationError
+from repro.network.demand import DemandFunction, ExponentialSensitivityDemand
+
+__all__ = ["ContentProvider", "Population"]
+
+
+@dataclass(frozen=True)
+class ContentProvider:
+    """A single content provider in the three-party ecosystem.
+
+    Parameters mirror the paper's notation; see the module docstring.  The
+    ``demand`` field defaults to the exponential-sensitivity demand of
+    Equation (3) built from ``theta_hat`` and ``beta``.
+    """
+
+    name: str
+    alpha: float
+    theta_hat: float
+    beta: float = 1.0
+    revenue_rate: float = 0.0
+    utility_rate: float = 0.0
+    demand: Optional[DemandFunction] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelValidationError("content provider needs a non-empty name")
+        if not (0.0 < self.alpha <= 1.0):
+            raise ModelValidationError(
+                f"alpha (popularity) must lie in (0, 1], got {self.alpha!r}"
+            )
+        if not math.isfinite(self.theta_hat) or self.theta_hat <= 0.0:
+            raise ModelValidationError(
+                f"theta_hat must be positive and finite, got {self.theta_hat!r}"
+            )
+        if not math.isfinite(self.beta) or self.beta < 0.0:
+            raise ModelValidationError(
+                f"beta must be non-negative and finite, got {self.beta!r}"
+            )
+        if not math.isfinite(self.revenue_rate) or self.revenue_rate < 0.0:
+            raise ModelValidationError(
+                f"revenue_rate (v_i) must be non-negative, got {self.revenue_rate!r}"
+            )
+        if not math.isfinite(self.utility_rate) or self.utility_rate < 0.0:
+            raise ModelValidationError(
+                f"utility_rate (phi_i) must be non-negative, got {self.utility_rate!r}"
+            )
+        if self.demand is None:
+            object.__setattr__(
+                self,
+                "demand",
+                ExponentialSensitivityDemand(self.theta_hat, self.beta),
+            )
+        elif abs(self.demand.theta_hat - self.theta_hat) > 1e-9 * self.theta_hat:
+            raise ModelValidationError(
+                "demand.theta_hat must match the provider's theta_hat "
+                f"({self.demand.theta_hat} != {self.theta_hat})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities used throughout the paper.
+    # ------------------------------------------------------------------ #
+    @property
+    def unconstrained_per_capita_rate(self) -> float:
+        """``alpha_i * theta_hat_i`` — per-capita unconstrained throughput.
+
+        The paper's ``lambda_hat_i`` equals ``alpha_i * M * theta_hat_i``;
+        dividing by the consumer size ``M`` gives this per-capita quantity,
+        which is what the per-capita capacity ``nu`` is compared against.
+        """
+        return self.alpha * self.theta_hat
+
+    def demand_at(self, theta: float) -> float:
+        """Demand fraction ``d_i(theta)`` (Assumption 1 compliant)."""
+        assert self.demand is not None
+        return self.demand(theta)
+
+    def rho(self, theta: float) -> float:
+        """Per-capita throughput over the CP's own user base (Equation 5).
+
+        ``rho_i(theta) = d_i(theta) * theta`` — throughput per member of the
+        CP's user base, before weighting by the popularity ``alpha``.
+        """
+        theta_eff = min(theta, self.theta_hat)
+        return self.demand_at(theta_eff) * theta_eff
+
+    def per_capita_rate(self, theta: float) -> float:
+        """Per-consumer throughput contribution ``alpha_i d_i(theta) theta``.
+
+        Multiplying by the consumer size ``M`` recovers the paper's
+        ``lambda_i`` of Equation (1).
+        """
+        return self.alpha * self.rho(theta)
+
+    def throughput(self, theta: float, consumers: float) -> float:
+        """Absolute aggregate throughput ``lambda_i`` for ``M = consumers``."""
+        if consumers < 0.0:
+            raise ModelValidationError("consumer size must be non-negative")
+        return consumers * self.per_capita_rate(theta)
+
+    def utility(self, per_capita_rate: float, consumers: float,
+                premium_price: float = 0.0) -> float:
+        """CP profit (Equation 4) given its realised per-capita rate.
+
+        ``premium_price`` is the per-unit-traffic charge ``c`` if the CP is in
+        the premium class, or 0 in the ordinary class.
+        """
+        margin = self.revenue_rate - premium_price
+        return margin * per_capita_rate * consumers
+
+    def with_utility_rate(self, utility_rate: float) -> "ContentProvider":
+        """Copy of this CP with a different consumer utility rate ``phi_i``."""
+        return replace(self, utility_rate=utility_rate)
+
+    def with_revenue_rate(self, revenue_rate: float) -> "ContentProvider":
+        """Copy of this CP with a different CP-side revenue rate ``v_i``."""
+        return replace(self, revenue_rate=revenue_rate)
+
+
+class Population(Sequence[ContentProvider]):
+    """Immutable ordered collection of content providers.
+
+    Provides vectorised views of the CP parameters (as numpy arrays) and
+    convenience constructors for sub-populations selected by index, which is
+    how the game layer represents the ordinary/premium partition.
+    """
+
+    def __init__(self, providers: Iterable[ContentProvider]) -> None:
+        self._providers: tuple[ContentProvider, ...] = tuple(providers)
+        names = [cp.name for cp in self._providers]
+        if len(set(names)) != len(names):
+            raise ModelValidationError("content provider names must be unique")
+
+    # -- Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def __iter__(self) -> Iterator[ContentProvider]:
+        return iter(self._providers)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Population(self._providers[index])
+        return self._providers[index]
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._providers
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Population):
+            return NotImplemented
+        return self._providers == other._providers
+
+    def __hash__(self) -> int:
+        return hash(self._providers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Population(n={len(self._providers)})"
+
+    # -- vectorised accessors ----------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(cp.name for cp in self._providers)
+
+    @property
+    def alphas(self) -> np.ndarray:
+        return np.array([cp.alpha for cp in self._providers], dtype=float)
+
+    @property
+    def theta_hats(self) -> np.ndarray:
+        return np.array([cp.theta_hat for cp in self._providers], dtype=float)
+
+    @property
+    def betas(self) -> np.ndarray:
+        return np.array([cp.beta for cp in self._providers], dtype=float)
+
+    @property
+    def revenue_rates(self) -> np.ndarray:
+        return np.array([cp.revenue_rate for cp in self._providers], dtype=float)
+
+    @property
+    def utility_rates(self) -> np.ndarray:
+        return np.array([cp.utility_rate for cp in self._providers], dtype=float)
+
+    @property
+    def unconstrained_per_capita_load(self) -> float:
+        """``sum_i alpha_i * theta_hat_i`` — the per-capita capacity at which
+        every CP can be served at its unconstrained throughput."""
+        return float(np.sum(self.alphas * self.theta_hats))
+
+    # -- vectorised demand evaluation -----------------------------------------
+    @property
+    def _all_exponential(self) -> bool:
+        """True when every provider uses the Equation-(3) exponential demand.
+
+        Cached on first access; enables a fully vectorised demand evaluation
+        which the equilibrium solvers rely on for large populations.
+        """
+        cached = getattr(self, "_all_exponential_cache", None)
+        if cached is None:
+            cached = all(isinstance(cp.demand, ExponentialSensitivityDemand)
+                         for cp in self._providers)
+            object.__setattr__(self, "_all_exponential_cache", cached)
+        return cached
+
+    def demands_at(self, thetas: np.ndarray) -> np.ndarray:
+        """Vector of demand fractions ``d_i(theta_i)`` for a throughput profile.
+
+        Uses a closed-form vectorised expression when every provider carries
+        the exponential-sensitivity demand of Equation (3); otherwise falls
+        back to evaluating each provider's demand function individually.
+        """
+        thetas = np.asarray(thetas, dtype=float)
+        if thetas.shape != (len(self._providers),):
+            raise ModelValidationError(
+                f"throughput profile has shape {thetas.shape}, expected "
+                f"({len(self._providers)},)"
+            )
+        if not self._all_exponential:
+            return np.array([cp.demand_at(theta)
+                             for cp, theta in zip(self._providers, thetas)])
+        theta_hats = self.theta_hats
+        betas = np.array([cp.demand.beta for cp in self._providers], dtype=float)  # type: ignore[union-attr]
+        clipped = np.minimum(thetas, theta_hats)
+        demands = np.empty(len(self._providers), dtype=float)
+        positive = clipped > 0.0
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            congestion = np.where(positive, theta_hats / np.where(positive, clipped, 1.0) - 1.0, np.inf)
+            demands = np.exp(-betas * congestion)
+        # theta <= 0: demand limit is 1 for beta == 0 and 0 otherwise.
+        demands[~positive] = np.where(betas[~positive] == 0.0, 1.0, 0.0)
+        demands[clipped >= theta_hats] = 1.0
+        return np.clip(demands, 0.0, 1.0)
+
+    # -- sub-population helpers ---------------------------------------------
+    def subset(self, indices: Iterable[int]) -> "Population":
+        """Sub-population selected by provider index (order-preserving)."""
+        index_list = sorted(set(int(i) for i in indices))
+        for i in index_list:
+            if i < 0 or i >= len(self._providers):
+                raise ModelValidationError(f"provider index {i} out of range")
+        return Population(self._providers[i] for i in index_list)
+
+    def index_of(self, name: str) -> int:
+        """Index of the provider with the given name."""
+        for i, cp in enumerate(self._providers):
+            if cp.name == name:
+                return i
+        raise KeyError(name)
+
+    def with_utility_rates(self, utility_rates: Sequence[float]) -> "Population":
+        """New population with the consumer utility rates ``phi_i`` replaced."""
+        if len(utility_rates) != len(self._providers):
+            raise ModelValidationError(
+                "utility_rates length must match the population size"
+            )
+        return Population(
+            cp.with_utility_rate(float(phi))
+            for cp, phi in zip(self._providers, utility_rates)
+        )
+
+    def sorted_by_revenue(self, descending: bool = True) -> "Population":
+        """Population re-ordered by CP-side revenue rate ``v_i``."""
+        ordered = sorted(
+            self._providers, key=lambda cp: cp.revenue_rate, reverse=descending
+        )
+        return Population(ordered)
+
+    def describe(self) -> dict:
+        """Summary statistics of the population (used by the CLI/examples)."""
+        return {
+            "count": len(self._providers),
+            "mean_alpha": float(np.mean(self.alphas)) if self._providers else 0.0,
+            "mean_theta_hat": float(np.mean(self.theta_hats)) if self._providers else 0.0,
+            "mean_beta": float(np.mean(self.betas)) if self._providers else 0.0,
+            "mean_revenue_rate": float(np.mean(self.revenue_rates)) if self._providers else 0.0,
+            "mean_utility_rate": float(np.mean(self.utility_rates)) if self._providers else 0.0,
+            "unconstrained_per_capita_load": (
+                self.unconstrained_per_capita_load if self._providers else 0.0
+            ),
+        }

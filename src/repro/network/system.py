@@ -1,0 +1,170 @@
+"""The system triple ``(M, mu, N)`` and its service-class decomposition.
+
+:class:`NetworkSystem` binds a consumer group of size ``M``, a bottleneck of
+capacity ``mu`` and a population ``N`` of content providers to a rate
+allocation mechanism, and exposes the rate equilibrium and surplus metrics
+in both per-capita and absolute terms.  :class:`ServiceClassOutcome` is the
+per-class view produced when a population is partitioned across the
+ordinary/premium classes of a differentiated link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ModelValidationError
+from repro.network.allocation import MaxMinFairAllocation, RateAllocationMechanism
+from repro.network.equilibrium import RateEquilibrium, solve_rate_equilibrium
+from repro.network.link import BottleneckLink, ServiceClassSpec
+from repro.network.provider import Population
+
+__all__ = ["NetworkSystem", "ServiceClassOutcome"]
+
+
+@dataclass(frozen=True)
+class ServiceClassOutcome:
+    """Rate equilibrium of one service class of a differentiated link.
+
+    Attributes
+    ----------
+    spec:
+        The service-class specification (name, capacity share, price).
+    population:
+        Providers that joined this class.
+    equilibrium:
+        The class's internal rate equilibrium at its per-capita capacity.
+    """
+
+    spec: ServiceClassSpec
+    population: Population
+    equilibrium: RateEquilibrium
+
+    @property
+    def per_capita_capacity(self) -> float:
+        return self.equilibrium.nu
+
+    @property
+    def consumer_surplus(self) -> float:
+        """Per-capita consumer surplus contributed by this class."""
+        return self.equilibrium.consumer_surplus()
+
+    @property
+    def carried_rate(self) -> float:
+        """Per-capita aggregate rate carried inside this class."""
+        return self.equilibrium.aggregate_rate
+
+    @property
+    def isp_revenue(self) -> float:
+        """Per-capita ISP revenue collected from this class (``c * lambda/M``)."""
+        return self.spec.price * self.carried_rate
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when the class capacity is (numerically) fully used."""
+        if self.per_capita_capacity <= 0.0:
+            return True
+        return self.carried_rate >= self.per_capita_capacity * (1.0 - 1e-9)
+
+
+class NetworkSystem:
+    """A consumer group, a bottleneck link and a population of providers.
+
+    The class is the programmatic form of the paper's system triple
+    ``(M, mu, N)``.  All game-theoretic computations reduce to per-capita
+    quantities (Axiom 4); absolute quantities are recovered by multiplying by
+    the consumer size.
+    """
+
+    def __init__(self, population: Population, consumers: float,
+                 link: BottleneckLink,
+                 mechanism: Optional[RateAllocationMechanism] = None) -> None:
+        if consumers <= 0.0 or not math.isfinite(consumers):
+            raise ModelValidationError(
+                f"consumer size must be positive and finite, got {consumers!r}"
+            )
+        self.population = population
+        self.consumers = float(consumers)
+        self.link = link
+        self.mechanism = mechanism if mechanism is not None else MaxMinFairAllocation()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_per_capita(cls, population: Population, nu: float,
+                        consumers: float = 1.0,
+                        mechanism: Optional[RateAllocationMechanism] = None,
+                        ) -> "NetworkSystem":
+        """Build a system directly from a per-capita capacity ``nu``.
+
+        By Axiom 4 only ``nu`` matters for equilibrium quantities, so a unit
+        consumer group is used unless an absolute scale is requested.
+        """
+        return cls(population, consumers, BottleneckLink(nu * consumers), mechanism)
+
+    # ------------------------------------------------------------------ #
+    # Basic quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def nu(self) -> float:
+        """Per-capita capacity ``nu = mu / M``."""
+        return self.link.per_capita(self.consumers)
+
+    @property
+    def required_nu(self) -> float:
+        """Per-capita capacity needed to serve all unconstrained throughput."""
+        return self.population.unconstrained_per_capita_load
+
+    def scaled(self, factor: float) -> "NetworkSystem":
+        """The linearly scaled system ``(xi M, xi mu, N)`` (Axiom 4)."""
+        if factor <= 0.0:
+            raise ModelValidationError("scale factor must be positive")
+        return NetworkSystem(self.population, self.consumers * factor,
+                             self.link.scaled(factor), self.mechanism)
+
+    def subsystem(self, indices: Iterable[int],
+                  capacity_share: float) -> "NetworkSystem":
+        """The subsystem formed by a subset of providers on a capacity share.
+
+        Used to build the ordinary/premium class systems: the same consumer
+        group is served, but only ``capacity_share`` of the link is available
+        to the selected providers.
+        """
+        if not 0.0 <= capacity_share <= 1.0:
+            raise ModelValidationError(
+                f"capacity_share must lie in [0, 1], got {capacity_share!r}"
+            )
+        return NetworkSystem(self.population.subset(indices), self.consumers,
+                             BottleneckLink(self.link.capacity * capacity_share),
+                             self.mechanism)
+
+    # ------------------------------------------------------------------ #
+    # Equilibrium and surplus
+    # ------------------------------------------------------------------ #
+    def equilibrium(self) -> RateEquilibrium:
+        """The unique rate equilibrium of the full system (Theorem 1)."""
+        return solve_rate_equilibrium(self.population, self.nu, self.mechanism)
+
+    def class_outcome(self, spec: ServiceClassSpec,
+                      member_indices: Iterable[int]) -> ServiceClassOutcome:
+        """Rate equilibrium of one service class with the given members."""
+        members = self.population.subset(member_indices)
+        class_nu = spec.per_capita_capacity(self.nu)
+        equilibrium = solve_rate_equilibrium(members, class_nu, self.mechanism)
+        return ServiceClassOutcome(spec=spec, population=members,
+                                   equilibrium=equilibrium)
+
+    def per_capita_consumer_surplus(self) -> float:
+        """``Phi`` of the undifferentiated (single-class) system."""
+        return self.equilibrium().consumer_surplus()
+
+    def consumer_surplus(self) -> float:
+        """Absolute consumer surplus ``CS = M * Phi``."""
+        return self.consumers * self.per_capita_consumer_surplus()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"NetworkSystem(n_providers={len(self.population)}, "
+                f"consumers={self.consumers}, capacity={self.link.capacity}, "
+                f"mechanism={type(self.mechanism).__name__})")

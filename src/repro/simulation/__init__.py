@@ -1,0 +1,34 @@
+"""Experiment harness: sweeps, result containers and figure reproductions.
+
+* :mod:`repro.simulation.results` — light containers for series and sweep
+  results, with plain-text table rendering (no plotting dependency);
+* :mod:`repro.simulation.sweep` — price/capacity/strategy sweeps over the
+  monopoly and duopoly games;
+* :mod:`repro.simulation.experiments` — one entry point per paper figure
+  (and per analytic claim), used by the benchmark suite and the CLI;
+* :mod:`repro.simulation.montecarlo` — replication of experiments across
+  population seeds.
+"""
+
+from repro.simulation.results import Series, SweepResult, ExperimentResult
+from repro.simulation.sweep import (
+    duopoly_capacity_sweep,
+    duopoly_price_sweep,
+    monopoly_capacity_sweep,
+    monopoly_price_sweep,
+)
+from repro.simulation import experiments
+from repro.simulation.montecarlo import MonteCarloSummary, monte_carlo
+
+__all__ = [
+    "Series",
+    "SweepResult",
+    "ExperimentResult",
+    "monopoly_price_sweep",
+    "monopoly_capacity_sweep",
+    "duopoly_price_sweep",
+    "duopoly_capacity_sweep",
+    "experiments",
+    "monte_carlo",
+    "MonteCarloSummary",
+]

@@ -1,0 +1,115 @@
+"""Monte-Carlo replication of experiments across population seeds.
+
+The paper's numerical results are computed on a single random draw of the
+1000-CP population.  To distinguish draw-specific artefacts from robust
+qualitative conclusions, this module replicates an arbitrary experiment
+function across seeds and summarises scalar metrics with mean / standard
+deviation / extremes.  The regulation benchmark uses it to confirm that the
+regime ordering is not an artefact of one particular draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import ModelValidationError
+
+__all__ = ["MonteCarloSummary", "monte_carlo", "summarise_metrics"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Summary statistics of one scalar metric across replications."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+@dataclass
+class MonteCarloSummary:
+    """Replication results: per-seed metric values plus summary statistics."""
+
+    seeds: List[int] = field(default_factory=list)
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, seed: int, metrics: Mapping[str, float]) -> None:
+        self.seeds.append(seed)
+        for name, value in metrics.items():
+            self.samples.setdefault(name, []).append(float(value))
+
+    def summary(self, name: str) -> MetricSummary:
+        values = self.samples.get(name)
+        if not values:
+            raise KeyError(name)
+        count = len(values)
+        mean = sum(values) / count
+        variance = sum((v - mean) ** 2 for v in values) / count if count > 1 else 0.0
+        return MetricSummary(name=name, mean=mean, std=math.sqrt(variance),
+                             minimum=min(values), maximum=max(values), count=count)
+
+    def summaries(self) -> Dict[str, MetricSummary]:
+        return {name: self.summary(name) for name in self.samples}
+
+    def fraction_true(self, name: str) -> float:
+        """Fraction of replications in which a boolean metric was truthy."""
+        values = self.samples.get(name)
+        if not values:
+            raise KeyError(name)
+        return sum(1.0 for v in values if v) / len(values)
+
+    def to_table(self) -> str:
+        header = f"{'metric':<44} {'mean':>10} {'std':>10} {'min':>10} {'max':>10}"
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.samples):
+            s = self.summary(name)
+            lines.append(f"{name:<44} {s.mean:>10.4f} {s.std:>10.4f} "
+                         f"{s.minimum:>10.4f} {s.maximum:>10.4f}")
+        return "\n".join(lines)
+
+
+def monte_carlo(experiment: Callable[[int], Mapping[str, float]],
+                seeds: Iterable[int]) -> MonteCarloSummary:
+    """Run ``experiment(seed)`` for every seed and collect scalar metrics.
+
+    ``experiment`` must return a mapping from metric name to a numeric value
+    (booleans are coerced to 0/1).  Non-numeric values are skipped.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ModelValidationError("at least one seed is required")
+    summary = MonteCarloSummary()
+    for seed in seeds:
+        metrics = experiment(int(seed))
+        numeric = {}
+        for name, value in metrics.items():
+            if isinstance(value, bool):
+                numeric[name] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)) and math.isfinite(float(value)):
+                numeric[name] = float(value)
+        summary.add(int(seed), numeric)
+    return summary
+
+
+def summarise_metrics(findings: Mapping[str, object]) -> Dict[str, float]:
+    """Extract the numeric / boolean findings of an experiment result.
+
+    Convenience adapter so ``ExperimentResult.findings`` can be fed straight
+    into :func:`monte_carlo`.
+    """
+    metrics: Dict[str, float] = {}
+    for name, value in findings.items():
+        if isinstance(value, bool):
+            metrics[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)) and math.isfinite(float(value)):
+            metrics[name] = float(value)
+    return metrics

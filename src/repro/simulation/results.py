@@ -1,0 +1,147 @@
+"""Result containers for sweeps and figure reproductions.
+
+The library deliberately produces *data*, not plots: every experiment
+returns named series (x/y arrays plus metadata) that can be printed as
+plain-text tables (the benchmarks do exactly this), post-processed, or fed
+to any plotting front-end by the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ModelValidationError
+
+__all__ = ["Series", "SweepResult", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named series of ``(x, y)`` samples (one curve of a figure)."""
+
+    name: str
+    x: tuple
+    y: tuple
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ModelValidationError(
+                f"series {self.name!r}: x and y must have equal length "
+                f"({len(self.x)} != {len(self.y)})"
+            )
+        object.__setattr__(self, "x", tuple(float(v) for v in self.x))
+        object.__setattr__(self, "y", tuple(float(v) for v in self.y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def y_max(self) -> float:
+        return max(self.y) if self.y else float("nan")
+
+    @property
+    def y_min(self) -> float:
+        return min(self.y) if self.y else float("nan")
+
+    def argmax_x(self) -> float:
+        """The x value at which the series peaks."""
+        if not self.y:
+            raise ModelValidationError(f"series {self.name!r} is empty")
+        index = max(range(len(self.y)), key=lambda i: self.y[i])
+        return self.x[index]
+
+    def value_at(self, x: float, tolerance: float = 1e-9) -> float:
+        """The y value at a sampled x (exact match within tolerance)."""
+        for sample_x, sample_y in zip(self.x, self.y):
+            if abs(sample_x - x) <= tolerance:
+                return sample_y
+        raise KeyError(f"x={x} not sampled in series {self.name!r}")
+
+
+@dataclass
+class SweepResult:
+    """A collection of series sharing the same x axis (one figure panel)."""
+
+    title: str
+    series: List[Series] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, series: Series) -> None:
+        self.series.append(series)
+
+    def get(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(name)
+
+    @property
+    def names(self) -> List[str]:
+        return [series.name for series in self.series]
+
+    def to_table(self, max_rows: Optional[int] = None,
+                 float_format: str = "{:>12.4f}") -> str:
+        """Plain-text table: one row per x sample, one column per series."""
+        if not self.series:
+            return f"{self.title}\n(empty)"
+        x_values = self.series[0].x
+        for series in self.series:
+            if series.x != x_values:
+                raise ModelValidationError(
+                    "all series in a sweep must share the same x grid to tabulate"
+                )
+        header = f"{self.series[0].x_label:>12} " + " ".join(
+            f"{series.name:>12}" for series in self.series
+        )
+        lines = [self.title, header, "-" * len(header)]
+        rows = range(len(x_values)) if max_rows is None else range(
+            0, len(x_values), max(1, len(x_values) // max_rows))
+        for i in rows:
+            row = float_format.format(x_values[i]) + " " + " ".join(
+                float_format.format(series.y[i]) for series in self.series
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Top-level result of one paper-figure reproduction.
+
+    ``panels`` holds one :class:`SweepResult` per sub-figure; ``findings``
+    records the qualitative checks (the "shape" claims of the paper) as
+    name -> bool/number pairs, which the benchmark harness prints alongside
+    the tables and EXPERIMENTS.md summarises.
+    """
+
+    experiment_id: str
+    description: str
+    panels: List[SweepResult] = field(default_factory=list)
+    findings: Dict[str, object] = field(default_factory=dict)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def panel(self, title: str) -> SweepResult:
+        for panel in self.panels:
+            if panel.title == title:
+                return panel
+        raise KeyError(title)
+
+    def add_panel(self, panel: SweepResult) -> None:
+        self.panels.append(panel)
+
+    def report(self, max_rows: Optional[int] = 12) -> str:
+        """Human-readable report: tables for each panel plus the findings."""
+        sections = [f"== {self.experiment_id}: {self.description} =="]
+        if self.parameters:
+            sections.append("parameters: " + ", ".join(
+                f"{key}={value}" for key, value in sorted(self.parameters.items())))
+        for panel in self.panels:
+            sections.append(panel.to_table(max_rows=max_rows))
+        if self.findings:
+            sections.append("findings:")
+            for key, value in self.findings.items():
+                sections.append(f"  - {key}: {value}")
+        return "\n\n".join(sections)

@@ -1,0 +1,54 @@
+"""Shared type aliases and light-weight protocols used across the package.
+
+The library deliberately keeps its inter-module contracts small: demand
+functions are callables of one float, populations are sequences of
+:class:`repro.network.provider.ContentProvider`, and partitions are pairs of
+index tuples.  Centralising the aliases here keeps signatures readable
+without creating import cycles (this module imports nothing from the rest of
+the package).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Protocol, Sequence, Tuple
+
+__all__ = [
+    "DemandCallable",
+    "ThroughputProfile",
+    "Partition",
+    "SupportsDemand",
+]
+
+#: A demand function: maps an achievable throughput ``theta`` (in the same
+#: units as the provider's unconstrained throughput) to the fraction of the
+#: provider's user base that still demands content, in ``[0, 1]``.
+DemandCallable = Callable[[float], float]
+
+#: Mapping from provider index (position inside a population) to the
+#: achievable per-user throughput ``theta_i`` at equilibrium.
+ThroughputProfile = Mapping[int, float]
+
+#: A partition of provider indices into (ordinary, premium) classes.
+Partition = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+class SupportsDemand(Protocol):
+    """Protocol for demand-function objects (Assumption 1 of the paper).
+
+    A demand function must be defined on ``[0, theta_hat]``, be non-negative,
+    continuous and non-decreasing, and evaluate to ``1`` at ``theta_hat``.
+    """
+
+    @property
+    def theta_hat(self) -> float:
+        """Unconstrained (maximum useful) per-user throughput."""
+        ...
+
+    def __call__(self, theta: float) -> float:
+        """Fraction of users still demanding content at throughput ``theta``."""
+        ...
+
+
+def as_index_tuple(indices: Sequence[int]) -> Tuple[int, ...]:
+    """Normalise a sequence of provider indices to a sorted, de-duplicated tuple."""
+    return tuple(sorted(set(int(i) for i in indices)))

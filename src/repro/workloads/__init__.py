@@ -1,0 +1,42 @@
+"""Workload generators: content-provider populations used by the paper.
+
+* :mod:`repro.workloads.archetypes` — the three named archetypes of
+  Section II-D (Google-, Netflix- and Skype-type CPs) and mixes thereof;
+* :mod:`repro.workloads.populations` — the random 1000-CP population of
+  Sections III/IV (``alpha, theta_hat, v ~ U[0,1]``, ``beta ~ U[0,10]``);
+* :mod:`repro.workloads.utility` — the two consumer-utility models
+  (``phi ~ U[0, beta]`` correlated with sensitivity, and the appendix's
+  independent ``phi ~ U[0, U[0, 10]]``).
+"""
+
+from repro.workloads.archetypes import (
+    google_type,
+    netflix_type,
+    skype_type,
+    archetype_population,
+    archetype_mix,
+)
+from repro.workloads.populations import (
+    paper_population,
+    random_population,
+    PopulationSpec,
+)
+from repro.workloads.utility import (
+    beta_correlated_utilities,
+    independent_utilities,
+    assign_utilities,
+)
+
+__all__ = [
+    "google_type",
+    "netflix_type",
+    "skype_type",
+    "archetype_population",
+    "archetype_mix",
+    "paper_population",
+    "random_population",
+    "PopulationSpec",
+    "beta_correlated_utilities",
+    "independent_utilities",
+    "assign_utilities",
+]

@@ -1,0 +1,89 @@
+"""The paper's three content-provider archetypes (Section II-D).
+
+The illustration of the max-min fair rate equilibrium (Figure 3) uses three
+CPs meant to stand for broad application classes:
+
+* **Google-type** — extensively accessed, low unconstrained throughput,
+  insensitive to congestion: ``(alpha, theta_hat, beta) = (1, 1, 0.1)``;
+* **Netflix-type** — throughput-hungry streaming with high sensitivity:
+  ``(0.3, 10, 3)``;
+* **Skype-type** — real-time media with medium throughput and extreme
+  sensitivity: ``(0.5, 3, 5)``.
+
+Throughput units follow the paper's convention (1 unit = the Google-type
+unconstrained throughput, roughly 600 Kbps; the Netflix-type's 10 units
+then correspond to a handful of Mbps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ModelValidationError
+from repro.network.provider import ContentProvider, Population
+
+__all__ = [
+    "google_type",
+    "netflix_type",
+    "skype_type",
+    "archetype_population",
+    "archetype_mix",
+]
+
+
+def google_type(name: str = "google", revenue_rate: float = 0.5,
+                utility_rate: float = 0.1) -> ContentProvider:
+    """A search-like CP: universally accessed, elastic, low rate."""
+    return ContentProvider(name=name, alpha=1.0, theta_hat=1.0, beta=0.1,
+                           revenue_rate=revenue_rate, utility_rate=utility_rate)
+
+
+def netflix_type(name: str = "netflix", revenue_rate: float = 0.7,
+                 utility_rate: float = 3.0) -> ContentProvider:
+    """A streaming CP: high unconstrained throughput, throughput sensitive."""
+    return ContentProvider(name=name, alpha=0.3, theta_hat=10.0, beta=3.0,
+                           revenue_rate=revenue_rate, utility_rate=utility_rate)
+
+
+def skype_type(name: str = "skype", revenue_rate: float = 0.4,
+               utility_rate: float = 5.0) -> ContentProvider:
+    """A real-time communications CP: medium rate, extremely sensitive."""
+    return ContentProvider(name=name, alpha=0.5, theta_hat=3.0, beta=5.0,
+                           revenue_rate=revenue_rate, utility_rate=utility_rate)
+
+
+def archetype_population() -> Population:
+    """The exact three-CP population of Figure 3."""
+    return Population([google_type(), netflix_type(), skype_type()])
+
+
+def archetype_mix(counts: Mapping[str, int],
+                  revenue_rates: Optional[Mapping[str, float]] = None,
+                  utility_rates: Optional[Mapping[str, float]] = None,
+                  ) -> Population:
+    """A larger population made of repeated archetypes.
+
+    ``counts`` maps archetype names (``"google"``, ``"netflix"``, ``"skype"``)
+    to the number of CPs of that type; clones are suffixed ``-0``, ``-1``,
+    and so on.  Optional per-archetype revenue/utility overrides apply to
+    every clone of that archetype.
+    """
+    factories = {"google": google_type, "netflix": netflix_type, "skype": skype_type}
+    providers = []
+    for archetype, count in counts.items():
+        if archetype not in factories:
+            raise ModelValidationError(
+                f"unknown archetype {archetype!r}; expected one of {sorted(factories)}"
+            )
+        if count < 0:
+            raise ModelValidationError("archetype counts must be non-negative")
+        kwargs = {}
+        if revenue_rates and archetype in revenue_rates:
+            kwargs["revenue_rate"] = revenue_rates[archetype]
+        if utility_rates and archetype in utility_rates:
+            kwargs["utility_rate"] = utility_rates[archetype]
+        for clone in range(count):
+            providers.append(factories[archetype](name=f"{archetype}-{clone}", **kwargs))
+    if not providers:
+        raise ModelValidationError("archetype mix must contain at least one CP")
+    return Population(providers)

@@ -1,0 +1,83 @@
+"""Consumer-utility models for the per-unit-traffic utility ``phi_i``.
+
+The paper's main experiments draw ``phi_i ~ U[0, beta_i]`` — utility is
+biased towards throughput-sensitive CPs (Skype-like applications bring more
+value per byte), with some randomness.  The appendix repeats every
+experiment with ``phi_i ~ U[0, U[0, 10]]``, the same scale but independent
+of the sensitivity, and finds the same qualitative conclusions.  Both
+models are provided here, plus a helper to overwrite the utilities of an
+existing population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelValidationError
+from repro.network.provider import Population
+
+__all__ = [
+    "beta_correlated_utilities",
+    "independent_utilities",
+    "assign_utilities",
+]
+
+
+def _rng(seed: Optional[int], rng: Optional[np.random.Generator]
+         ) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def beta_correlated_utilities(betas: Sequence[float], *, seed: Optional[int] = None,
+                              rng: Optional[np.random.Generator] = None
+                              ) -> np.ndarray:
+    """The main-text model: ``phi_i ~ U[0, beta_i]``.
+
+    Utility is biased towards CPs with high throughput sensitivity while
+    keeping per-CP randomness.
+    """
+    betas_arr = np.asarray(betas, dtype=float)
+    if np.any(betas_arr < 0.0):
+        raise ModelValidationError("betas must be non-negative")
+    generator = _rng(seed, rng)
+    return generator.uniform(0.0, 1.0, size=betas_arr.shape) * betas_arr
+
+
+def independent_utilities(count: int, *, scale: float = 10.0,
+                          seed: Optional[int] = None,
+                          rng: Optional[np.random.Generator] = None
+                          ) -> np.ndarray:
+    """The appendix model: ``phi_i ~ U[0, U[0, scale]]`` (independent of beta)."""
+    if count < 0:
+        raise ModelValidationError("count must be non-negative")
+    if scale < 0.0:
+        raise ModelValidationError("scale must be non-negative")
+    generator = _rng(seed, rng)
+    upper = generator.uniform(0.0, scale, size=count)
+    return generator.uniform(0.0, 1.0, size=count) * upper
+
+
+def assign_utilities(population: Population, model: str = "beta_correlated", *,
+                     scale: float = 10.0, seed: Optional[int] = None,
+                     rng: Optional[np.random.Generator] = None) -> Population:
+    """Population copy with ``phi_i`` redrawn from the chosen model.
+
+    ``model`` is ``"beta_correlated"`` (main text) or ``"independent"``
+    (appendix).  CP characteristics other than ``phi`` are unchanged, which
+    is exactly how the appendix experiments are constructed: same CPs, same
+    CP decisions and ISP revenues, different consumer valuation.
+    """
+    if model == "beta_correlated":
+        utilities = beta_correlated_utilities(population.betas, seed=seed, rng=rng)
+    elif model == "independent":
+        utilities = independent_utilities(len(population), scale=scale, seed=seed,
+                                          rng=rng)
+    else:
+        raise ModelValidationError(
+            f"model must be 'beta_correlated' or 'independent', got {model!r}"
+        )
+    return population.with_utility_rates(utilities)

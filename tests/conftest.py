@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Most tests use small populations (3-100 CPs) so the whole suite stays fast;
+the heavyweight paper-scale population (1000 CPs) is exercised only by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.provider import ContentProvider, Population
+from repro.workloads.archetypes import archetype_population
+from repro.workloads.populations import PopulationSpec, random_population
+
+
+@pytest.fixture
+def google_netflix_skype() -> Population:
+    """The paper's three archetype CPs (Figure 3 workload)."""
+    return archetype_population()
+
+
+@pytest.fixture
+def two_provider_population() -> Population:
+    """A tiny hand-built population with easily checkable numbers."""
+    return Population([
+        ContentProvider(name="elastic", alpha=1.0, theta_hat=1.0, beta=0.0,
+                        revenue_rate=0.8, utility_rate=1.0),
+        ContentProvider(name="streaming", alpha=0.5, theta_hat=4.0, beta=2.0,
+                        revenue_rate=0.4, utility_rate=3.0),
+    ])
+
+
+@pytest.fixture
+def small_random_population() -> Population:
+    """A 40-CP random population drawn with the paper's distributions."""
+    return random_population(PopulationSpec(count=40), seed=7)
+
+
+@pytest.fixture
+def medium_random_population() -> Population:
+    """A 120-CP random population (used by game-layer tests)."""
+    return random_population(PopulationSpec(count=120), seed=11)

@@ -1,0 +1,82 @@
+"""Tests for the discontinuity metrics of Equation (9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.core.alignment import (
+    capacity_surplus_profile,
+    market_share_discontinuity,
+    surplus_discontinuity,
+)
+from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY
+
+
+class TestSurplusDiscontinuity:
+    def test_monotone_curve_has_zero_gap(self):
+        assert surplus_discontinuity([1.0, 2.0, 3.0, 3.0, 5.0]) == 0.0
+
+    def test_single_drop(self):
+        assert surplus_discontinuity([1.0, 4.0, 2.5, 5.0]) == pytest.approx(1.5)
+
+    def test_largest_of_several_drops(self):
+        assert surplus_discontinuity([3.0, 1.0, 4.0, 0.5, 6.0]) == pytest.approx(3.5)
+
+    def test_gap_measured_against_running_maximum(self):
+        # The drop from 5 (earlier max) to 1 counts, not just 2 -> 1.
+        assert surplus_discontinuity([5.0, 2.0, 1.0]) == pytest.approx(4.0)
+
+    def test_single_sample(self):
+        assert surplus_discontinuity([2.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelValidationError):
+            surplus_discontinuity([])
+
+
+class TestMarketShareDiscontinuity:
+    def test_perfectly_aligned_is_zero(self):
+        shares = [0.1, 0.2, 0.3, 0.4]
+        surpluses = [1.0, 2.0, 3.0, 4.0]
+        assert market_share_discontinuity(shares, surpluses) == 0.0
+
+    def test_misaligned_pair(self):
+        # Sample with share 0.6 has lower surplus than the one with 0.2.
+        shares = [0.2, 0.6]
+        surpluses = [5.0, 1.0]
+        assert market_share_discontinuity(shares, surpluses) == pytest.approx(0.4)
+
+    def test_equal_surplus_counts(self):
+        shares = [0.7, 0.3]
+        surpluses = [2.0, 2.0]
+        assert market_share_discontinuity(shares, surpluses) == pytest.approx(0.4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelValidationError):
+            market_share_discontinuity([0.5], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelValidationError):
+            market_share_discontinuity([], [])
+
+
+class TestCapacitySurplusProfile:
+    def test_profile_is_mostly_increasing(self, small_random_population):
+        nus, phis = capacity_surplus_profile(
+            small_random_population, ISPStrategy(1.0, 0.4), [0.5, 1.0, 3.0, 10.0])
+        assert nus == sorted(nus)
+        assert len(phis) == 4
+        # Equation (9): the downward gaps are small relative to the level.
+        epsilon = surplus_discontinuity(phis)
+        assert epsilon <= 0.25 * max(phis)
+
+    def test_neutral_strategy_profile_is_monotone(self, small_random_population):
+        _, phis = capacity_surplus_profile(
+            small_random_population, PUBLIC_OPTION_STRATEGY, [0.5, 1.0, 3.0, 10.0])
+        assert surplus_discontinuity(phis) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_grid_rejected(self, small_random_population):
+        with pytest.raises(ModelValidationError):
+            capacity_surplus_profile(small_random_population,
+                                     PUBLIC_OPTION_STRATEGY, [])

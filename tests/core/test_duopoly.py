@@ -1,0 +1,120 @@
+"""Tests for the duopoly game with a Public Option ISP (Theorem 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.core.duopoly import DuopolyGame
+from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY, strategy_grid
+from repro.core.surplus import neutral_consumer_surplus
+
+
+@pytest.fixture
+def game(medium_random_population):
+    return DuopolyGame(medium_random_population, total_nu=10.0,
+                       strategic_capacity_share=0.5)
+
+
+class TestConstruction:
+    def test_invalid_total_nu(self, medium_random_population):
+        with pytest.raises(ModelValidationError):
+            DuopolyGame(medium_random_population, total_nu=-1.0)
+
+    def test_invalid_capacity_share(self, medium_random_population):
+        with pytest.raises(ModelValidationError):
+            DuopolyGame(medium_random_population, 10.0, strategic_capacity_share=0.0)
+        with pytest.raises(ModelValidationError):
+            DuopolyGame(medium_random_population, 10.0, strategic_capacity_share=1.0)
+
+
+class TestOutcome:
+    def test_shares_sum_to_one(self, game):
+        outcome = game.outcome(ISPStrategy(1.0, 0.3))
+        assert outcome.market_share + outcome.other_market_share == pytest.approx(1.0)
+        assert 0.0 <= outcome.market_share <= 1.0
+
+    def test_mirrored_public_option_strategy_splits_evenly(self, game):
+        outcome = game.outcome(PUBLIC_OPTION_STRATEGY)
+        assert outcome.market_share == pytest.approx(0.5, abs=0.01)
+
+    def test_per_isp_details_exposed(self, game):
+        outcome = game.outcome(ISPStrategy(1.0, 0.3))
+        assert outcome.strategic_partition.strategy == ISPStrategy(1.0, 0.3)
+        assert outcome.other_partition.strategy == PUBLIC_OPTION_STRATEGY
+        if outcome.market_share > 0.01:
+            assert outcome.strategic_nu == pytest.approx(
+                0.5 * 10.0 / outcome.market_share, rel=1e-3)
+
+    def test_isp_surplus_per_subscriber_vs_market_wide(self, game):
+        outcome = game.outcome(ISPStrategy(1.0, 0.3))
+        assert outcome.isp_surplus == pytest.approx(
+            outcome.market_share * outcome.isp_surplus_per_subscriber)
+        assert outcome.other_isp_surplus == 0.0
+
+    def test_prohibitive_price_loses_market(self, game, medium_random_population):
+        outcome = game.outcome(ISPStrategy(1.0, 50.0))
+        assert outcome.market_share == pytest.approx(0.0, abs=1e-6)
+        # All consumers crowd onto the Public Option's half of the capacity,
+        # and the resulting surplus is the neutral surplus at that capacity.
+        assert outcome.consumer_surplus == pytest.approx(
+            neutral_consumer_surplus(medium_random_population, 5.0), rel=1e-6)
+
+    def test_custom_opponent_strategy(self, game):
+        outcome = game.outcome(ISPStrategy(1.0, 0.3),
+                               opponent_strategy=ISPStrategy(1.0, 0.3))
+        # Symmetric strategies and capacities split the market evenly
+        # (Lemma 4 in the two-ISP case).
+        assert outcome.market_share == pytest.approx(0.5, abs=0.02)
+
+
+class TestSweeps:
+    def test_price_sweep_shapes(self, game):
+        outcomes = game.price_sweep([0.0, 0.3, 0.9], kappa=1.0)
+        assert len(outcomes) == 3
+        # Phi stays strictly positive even at prohibitive prices (the Public
+        # Option guarantees a floor).
+        assert all(o.consumer_surplus > 0.0 for o in outcomes)
+        # The strategic ISP's revenue vanishes at the extremes.
+        assert outcomes[0].isp_surplus == pytest.approx(0.0, abs=1e-9)
+
+    def test_capacity_sweep(self, medium_random_population):
+        game = DuopolyGame(medium_random_population, total_nu=2.0)
+        outcomes = game.capacity_sweep(ISPStrategy(1.0, 0.3), [2.0, 10.0, 50.0])
+        assert len(outcomes) == 3
+        assert outcomes[-1].total_nu == 50.0
+        # Consumer surplus grows with total capacity.
+        assert outcomes[-1].consumer_surplus >= outcomes[0].consumer_surplus
+
+
+class TestTheorem5:
+    def test_market_share_and_surplus_optima_aligned(self, medium_random_population):
+        game = DuopolyGame(medium_random_population, total_nu=8.0)
+        grid = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.5, 0.8),
+                             include_public_option=True)
+        report = game.alignment_report(grid)
+        scale = max(abs(report["surplus_optimum"].consumer_surplus), 1e-9)
+        # Theorem 5: the market-share-optimal strategy is (close to) surplus
+        # optimal; the tolerance absorbs the migration-solver resolution.
+        assert report["surplus_shortfall"] <= 0.03 * scale
+
+    def test_best_response_objectives(self, medium_random_population):
+        game = DuopolyGame(medium_random_population, total_nu=8.0)
+        grid = strategy_grid(kappas=(1.0,), prices=(0.2, 0.6))
+        by_share = game.best_response(grid, objective="market_share")
+        by_phi = game.best_response(grid, objective="consumer_surplus")
+        assert by_share.strategy_strategic in grid
+        assert by_phi.strategy_strategic in grid
+        with pytest.raises(ModelValidationError):
+            game.best_response(grid, objective="bogus")
+        with pytest.raises(ModelValidationError):
+            game.best_response([], objective="market_share")
+
+    def test_public_option_never_dominated_badly(self, medium_random_population):
+        """The non-neutral ISP cannot win the whole market: the Public Option
+        survives (keeps a substantial share) under competition."""
+        game = DuopolyGame(medium_random_population, total_nu=8.0)
+        grid = strategy_grid(kappas=(1.0,), prices=(0.1, 0.3, 0.5, 0.7))
+        best = game.best_response(grid, objective="market_share")
+        assert best.market_share <= 0.75
+        assert best.other_market_share >= 0.25

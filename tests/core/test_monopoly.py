@@ -1,0 +1,139 @@
+"""Tests for the two-stage monopoly game (Section III, Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.core.monopoly import MonopolyGame
+from repro.core.strategy import ISPStrategy, NEUTRAL_STRATEGY, strategy_grid
+from repro.core.surplus import neutral_consumer_surplus
+
+
+@pytest.fixture
+def game(medium_random_population):
+    return MonopolyGame(medium_random_population, nu=10.0)
+
+
+class TestConstruction:
+    def test_invalid_nu(self, medium_random_population):
+        with pytest.raises(ModelValidationError):
+            MonopolyGame(medium_random_population, nu=-1.0)
+
+    def test_invalid_equilibrium_kind(self, medium_random_population):
+        with pytest.raises(ModelValidationError):
+            MonopolyGame(medium_random_population, nu=1.0, equilibrium_kind="bogus")
+
+
+class TestOutcomes:
+    def test_outcome_fields(self, game):
+        outcome = game.outcome(ISPStrategy(1.0, 0.4))
+        assert outcome.isp_surplus >= 0.0
+        assert outcome.consumer_surplus >= 0.0
+        assert 0.0 <= outcome.capacity_utilization <= 1.0
+        assert outcome.premium_provider_count == len(outcome.partition.premium_indices)
+
+    def test_neutral_outcome_matches_single_class(self, game,
+                                                  medium_random_population):
+        neutral = game.neutral_outcome()
+        assert neutral.strategy == NEUTRAL_STRATEGY
+        assert neutral.isp_surplus == 0.0
+        assert neutral.consumer_surplus == pytest.approx(
+            neutral_consumer_surplus(medium_random_population, 10.0), rel=1e-9)
+
+    def test_welfare_breakdown_consistent(self, game):
+        outcome = game.outcome(ISPStrategy(0.8, 0.3))
+        breakdown = outcome.welfare()
+        assert breakdown.consumer_surplus == pytest.approx(outcome.consumer_surplus)
+        assert breakdown.isp_surplus == pytest.approx(outcome.isp_surplus)
+        assert breakdown.total_welfare == pytest.approx(
+            breakdown.consumer_surplus + breakdown.isp_surplus + breakdown.cp_surplus)
+
+    def test_nash_equilibrium_kind(self, small_random_population):
+        game = MonopolyGame(small_random_population, nu=3.0,
+                            equilibrium_kind="nash")
+        outcome = game.outcome(ISPStrategy(1.0, 0.5))
+        assert outcome.partition.equilibrium_kind == "nash"
+
+
+class TestPriceSweep:
+    def test_psi_linear_when_saturated(self, game):
+        """Regime 1 of Figure 4: Psi = c * nu while the premium class is full."""
+        outcomes = game.price_sweep([0.05, 0.1], kappa=1.0)
+        for outcome in outcomes:
+            assert outcome.premium_saturated
+            assert outcome.isp_surplus == pytest.approx(
+                outcome.strategy.price * 10.0, rel=1e-6)
+
+    def test_psi_collapses_at_prohibitive_price(self, game):
+        outcome = game.outcome(ISPStrategy(1.0, 5.0))
+        assert outcome.isp_surplus == 0.0
+        assert outcome.premium_provider_count == 0
+
+    def test_phi_decreases_with_price_at_kappa_one_when_capacity_abundant(
+            self, medium_random_population):
+        """With abundant capacity, raising the premium price only hurts
+        consumers (the paper notes the opposite can happen only when capacity
+        is extremely scarce)."""
+        load = medium_random_population.unconstrained_per_capita_load
+        abundant = MonopolyGame(medium_random_population, nu=0.9 * load)
+        outcomes = abundant.price_sweep([0.1, 0.5, 0.9], kappa=1.0)
+        phis = [o.consumer_surplus for o in outcomes]
+        assert phis[0] >= phis[1] >= phis[2]
+
+    def test_capacity_sweep_runs_at_each_nu(self, medium_random_population):
+        game = MonopolyGame(medium_random_population, nu=1.0)
+        outcomes = game.capacity_sweep(ISPStrategy(0.5, 0.3), [2.0, 10.0, 60.0])
+        assert len(outcomes) == 3
+        # Consumer surplus is (weakly, up to epsilon jumps) increasing in nu.
+        assert outcomes[-1].consumer_surplus >= outcomes[0].consumer_surplus
+
+
+class TestFirstStageOptimisation:
+    def test_revenue_optimal_beats_grid(self, game):
+        grid = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.5, 0.8))
+        best = game.revenue_optimal(grid)
+        for strategy in grid:
+            assert best.isp_surplus >= game.outcome(strategy).isp_surplus - 1e-9
+
+    def test_surplus_optimal_beats_grid(self, game):
+        grid = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.5, 0.8))
+        best = game.surplus_optimal(grid)
+        for strategy in grid:
+            assert best.consumer_surplus >= game.outcome(strategy).consumer_surplus - 1e-9
+
+    def test_optimal_price_at_kappa_one(self, game):
+        best = game.optimal_price([0.1, 0.3, 0.5, 0.7], kappa=1.0)
+        assert best.strategy.kappa == 1.0
+        assert best.strategy.price in (0.1, 0.3, 0.5, 0.7)
+
+    def test_empty_grid_rejected(self, game):
+        with pytest.raises(ModelValidationError):
+            game.revenue_optimal([])
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("nu", [3.0, 10.0, 40.0])
+    @pytest.mark.parametrize("price", [0.2, 0.5, 0.8])
+    def test_kappa_one_dominates(self, medium_random_population, nu, price):
+        game = MonopolyGame(medium_random_population, nu=nu)
+        report = game.verify_kappa_dominance(price, kappas=(0.25, 0.5, 0.75))
+        assert report["holds"], report
+
+    def test_report_contains_all_kappas(self, game):
+        report = game.verify_kappa_dominance(0.4, kappas=(0.5,))
+        assert set(report["revenues"]) == {0.5, 1.0}
+
+
+class TestMonopolyMisalignment:
+    def test_revenue_optimum_can_hurt_consumers_when_capacity_abundant(
+            self, medium_random_population):
+        """Figure 4's headline: with abundant capacity the revenue-optimal
+        price leaves consumer surplus below what a lower price achieves."""
+        load = medium_random_population.unconstrained_per_capita_load
+        game = MonopolyGame(medium_random_population, nu=0.8 * load)
+        prices = [0.05, 0.2, 0.35, 0.5, 0.65, 0.8]
+        outcomes = game.price_sweep(prices, kappa=1.0)
+        best_revenue = max(outcomes, key=lambda o: o.isp_surplus)
+        best_phi = max(o.consumer_surplus for o in outcomes)
+        assert best_revenue.consumer_surplus < best_phi

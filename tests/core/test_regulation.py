@@ -1,0 +1,70 @@
+"""Tests for the regulatory-regime comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.core.regulation import RegimeComparison, RegimeResult, compare_regimes
+from repro.core.strategy import ISPStrategy, strategy_grid
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    from repro.workloads.populations import PopulationSpec, random_population
+    population = random_population(PopulationSpec(count=120), seed=11)
+    nu = 0.8 * population.unconstrained_per_capita_load
+    strategies = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.5, 0.8))
+    return compare_regimes(population, nu, strategies)
+
+
+class TestRegimeComparison:
+    def test_all_regimes_present(self, comparison):
+        assert set(comparison.results) == {
+            "unregulated_monopoly", "neutral_monopoly", "public_option",
+            "oligopoly_competition",
+        }
+
+    def test_ranking_sorted(self, comparison):
+        ranked = comparison.ranking()
+        surpluses = [r.consumer_surplus for r in ranked]
+        assert surpluses == sorted(surpluses, reverse=True)
+
+    def test_paper_ordering_holds(self, comparison):
+        """Public Option >= neutral regulation >= unregulated monopoly."""
+        assert comparison.paper_ordering_holds(tolerance=0.02)
+
+    def test_neutral_has_no_isp_revenue(self, comparison):
+        assert comparison.results["neutral_monopoly"].isp_surplus == 0.0
+
+    def test_unregulated_monopolist_extracts_revenue(self, comparison):
+        assert comparison.results["unregulated_monopoly"].isp_surplus > 0.0
+
+    def test_summary_table_lists_every_regime(self, comparison):
+        table = comparison.summary_table()
+        for regime in comparison.results:
+            assert regime in table
+
+    def test_consumer_surplus_lookup(self, comparison):
+        assert comparison.consumer_surplus("neutral_monopoly") == pytest.approx(
+            comparison.results["neutral_monopoly"].consumer_surplus)
+
+
+class TestCompareRegimesOptions:
+    def test_without_competition_regime(self, small_random_population):
+        nu = 0.5 * small_random_population.unconstrained_per_capita_load
+        result = compare_regimes(small_random_population, nu,
+                                 strategy_grid(kappas=(1.0,), prices=(0.3, 0.6)),
+                                 include_competition=False)
+        assert "oligopoly_competition" not in result.results
+        assert "public_option" in result.results
+
+    def test_empty_strategy_grid_rejected(self, small_random_population):
+        with pytest.raises(ModelValidationError):
+            compare_regimes(small_random_population, 1.0, [])
+
+    def test_manual_comparison_helpers(self):
+        comparison = RegimeComparison(nu=1.0)
+        comparison.add(RegimeResult("a", 2.0, 0.1, ISPStrategy(0.0, 0.0), "x"))
+        comparison.add(RegimeResult("b", 3.0, 0.2, ISPStrategy(1.0, 0.5), "y"))
+        assert [r.regime for r in comparison.ranking()] == ["b", "a"]

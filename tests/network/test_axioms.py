@@ -1,0 +1,112 @@
+"""Tests for the numerical axiom checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AxiomViolationError, ModelValidationError
+from repro.network.allocation import (
+    AlphaFairAllocation,
+    MaxMinFairAllocation,
+    ProportionalToDemandAllocation,
+    RateAllocationMechanism,
+    StrictPriorityAllocation,
+    WeightedFairAllocation,
+)
+from repro.network.axioms import check_axioms
+from repro.network.provider import Population
+
+COMPLIANT_MECHANISMS = [
+    MaxMinFairAllocation(),
+    WeightedFairAllocation(weights={"google": 2.0}),
+    ProportionalToDemandAllocation(),
+    AlphaFairAllocation(alpha=1.0),
+    StrictPriorityAllocation(),
+]
+
+
+class TestCompliantMechanisms:
+    @pytest.mark.parametrize("mechanism", COMPLIANT_MECHANISMS,
+                             ids=lambda m: type(m).__name__)
+    def test_archetypes(self, mechanism, google_netflix_skype):
+        report = check_axioms(mechanism, google_netflix_skype)
+        assert report.all_satisfied, report.violations
+
+    def test_random_population(self, small_random_population):
+        report = check_axioms(MaxMinFairAllocation(), small_random_population)
+        assert report.all_satisfied, report.violations
+
+    def test_raise_if_violated_noop_when_clean(self, google_netflix_skype):
+        report = check_axioms(MaxMinFairAllocation(), google_netflix_skype)
+        report.raise_if_violated()  # must not raise
+
+
+class _GreedyNonWorkConserving(RateAllocationMechanism):
+    """Deliberately broken mechanism: wastes half the capacity."""
+
+    def allocate(self, population, demands, nu):
+        return MaxMinFairAllocation().allocate(population, demands, nu / 2.0)
+
+
+class _OverAllocating(RateAllocationMechanism):
+    """Deliberately broken mechanism: exceeds unconstrained throughput."""
+
+    def allocate(self, population, demands, nu):
+        return population.theta_hats * 1.5
+
+
+class _NonMonotone(RateAllocationMechanism):
+    """Deliberately broken mechanism: allocation shrinks as capacity grows."""
+
+    def allocate(self, population, demands, nu):
+        load = population.unconstrained_per_capita_load
+        if nu >= load:
+            return population.theta_hats.copy()
+        # Give less throughput at higher capacity (still feasible, still
+        # "work conserving enough" to isolate the monotonicity failure).
+        reversed_nu = max(load - nu, 0.0)
+        return MaxMinFairAllocation().allocate(population, demands,
+                                               min(reversed_nu, load))
+
+
+class TestViolatingMechanisms:
+    def test_work_conservation_violation_detected(self, google_netflix_skype):
+        report = check_axioms(_GreedyNonWorkConserving(), google_netflix_skype)
+        assert not report.work_conservation
+        assert not report.all_satisfied
+        assert any("Axiom2" in violation for violation in report.violations)
+
+    def test_feasibility_violation_detected(self, google_netflix_skype):
+        report = check_axioms(_OverAllocating(), google_netflix_skype)
+        assert not report.feasibility
+
+    def test_monotonicity_violation_detected(self, google_netflix_skype):
+        report = check_axioms(_NonMonotone(), google_netflix_skype)
+        assert not report.monotonicity
+
+    def test_raise_if_violated(self, google_netflix_skype):
+        report = check_axioms(_OverAllocating(), google_netflix_skype)
+        with pytest.raises(AxiomViolationError):
+            report.raise_if_violated()
+
+
+class TestCheckerValidation:
+    def test_empty_population_rejected(self):
+        with pytest.raises(ModelValidationError):
+            check_axioms(MaxMinFairAllocation(), Population([]))
+
+    def test_negative_grid_rejected(self, google_netflix_skype):
+        with pytest.raises(ModelValidationError):
+            check_axioms(MaxMinFairAllocation(), google_netflix_skype,
+                         nu_grid=[-1.0, 1.0])
+
+    def test_custom_grid(self, google_netflix_skype):
+        report = check_axioms(MaxMinFairAllocation(), google_netflix_skype,
+                              nu_grid=[0.5, 1.0, 3.0, 10.0])
+        assert report.all_satisfied
+
+    def test_invalid_scale_factor_rejected(self, google_netflix_skype):
+        with pytest.raises(ModelValidationError):
+            check_axioms(MaxMinFairAllocation(), google_netflix_skype,
+                         scale_factors=(0.0,))

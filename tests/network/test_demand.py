@@ -1,0 +1,226 @@
+"""Tests for the demand-function families (Assumption 1 of the paper)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.network.demand import (
+    ConstantElasticityDemand,
+    ExponentialSensitivityDemand,
+    LinearDemand,
+    PiecewiseLinearDemand,
+    SigmoidDemand,
+    StepDemand,
+    UnitDemand,
+    demand_family,
+    sample_demand_curve,
+    validate_demand_function,
+)
+
+ALL_FAMILIES = [
+    ExponentialSensitivityDemand(theta_hat=2.0, beta=3.0),
+    ExponentialSensitivityDemand(theta_hat=1.0, beta=0.0),
+    LinearDemand(theta_hat=5.0, floor=0.2),
+    StepDemand(theta_hat=1.0, threshold=0.5, width=0.1),
+    UnitDemand(theta_hat=3.0),
+    SigmoidDemand(theta_hat=1.0, midpoint=0.4, steepness=8.0),
+    PiecewiseLinearDemand(theta_hat=2.0, points=[(0.0, 0.1), (0.5, 0.6), (1.0, 1.0)]),
+    ConstantElasticityDemand(theta_hat=4.0, elasticity=2.0),
+]
+
+
+class TestAssumptionOne:
+    """Every shipped family must satisfy Assumption 1."""
+
+    @pytest.mark.parametrize("demand", ALL_FAMILIES,
+                             ids=lambda d: type(d).__name__)
+    def test_validate_passes(self, demand):
+        validate_demand_function(demand)
+
+    @pytest.mark.parametrize("demand", ALL_FAMILIES,
+                             ids=lambda d: type(d).__name__)
+    def test_endpoint_is_one(self, demand):
+        assert demand(demand.theta_hat) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("demand", ALL_FAMILIES,
+                             ids=lambda d: type(d).__name__)
+    def test_above_theta_hat_clamps_to_one(self, demand):
+        assert demand(demand.theta_hat * 10.0) == 1.0
+
+    @pytest.mark.parametrize("demand", ALL_FAMILIES,
+                             ids=lambda d: type(d).__name__)
+    def test_non_decreasing_on_grid(self, demand):
+        previous = -1.0
+        for k in range(101):
+            value = demand(demand.theta_hat * k / 100)
+            assert value >= previous - 1e-12
+            previous = value
+
+    @pytest.mark.parametrize("demand", ALL_FAMILIES,
+                             ids=lambda d: type(d).__name__)
+    def test_range_is_unit_interval(self, demand):
+        for k in range(0, 101, 7):
+            value = demand(demand.theta_hat * k / 100)
+            assert 0.0 <= value <= 1.0
+
+
+class TestExponentialSensitivity:
+    def test_matches_equation_three(self):
+        demand = ExponentialSensitivityDemand(theta_hat=10.0, beta=3.0)
+        theta = 5.0
+        expected = math.exp(-3.0 * (10.0 / 5.0 - 1.0))
+        assert demand(theta) == pytest.approx(expected)
+
+    def test_zero_beta_is_unit_demand(self):
+        demand = ExponentialSensitivityDemand(theta_hat=1.0, beta=0.0)
+        assert demand(0.01) == pytest.approx(1.0)
+        assert demand.demand_at_zero() == 1.0
+
+    def test_zero_throughput_limit(self):
+        demand = ExponentialSensitivityDemand(theta_hat=1.0, beta=2.0)
+        assert demand(0.0) == 0.0
+
+    def test_large_beta_drops_sharply(self):
+        """Paper observation: beta=5 roughly halves demand at a 10% drop."""
+        demand = ExponentialSensitivityDemand(theta_hat=1.0, beta=5.0)
+        assert 0.4 <= demand(0.9) <= 0.7
+
+    def test_small_beta_is_flat(self):
+        demand = ExponentialSensitivityDemand(theta_hat=1.0, beta=0.1)
+        assert demand(0.5) > 0.9
+
+    def test_higher_beta_means_lower_demand(self):
+        low = ExponentialSensitivityDemand(theta_hat=1.0, beta=0.5)
+        high = ExponentialSensitivityDemand(theta_hat=1.0, beta=5.0)
+        for omega in (0.2, 0.5, 0.8):
+            assert high(omega) < low(omega)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ModelValidationError):
+            ExponentialSensitivityDemand(theta_hat=1.0, beta=-1.0)
+
+    def test_invalid_theta_hat_rejected(self):
+        with pytest.raises(ModelValidationError):
+            ExponentialSensitivityDemand(theta_hat=0.0, beta=1.0)
+        with pytest.raises(ModelValidationError):
+            ExponentialSensitivityDemand(theta_hat=float("nan"), beta=1.0)
+
+    def test_nan_throughput_rejected(self):
+        demand = ExponentialSensitivityDemand(theta_hat=1.0, beta=1.0)
+        with pytest.raises(ModelValidationError):
+            demand(float("nan"))
+
+    def test_demand_family_builder(self):
+        family = demand_family(1.0, [0.1, 1.0, 10.0])
+        assert [d.beta for d in family] == [0.1, 1.0, 10.0]
+        assert all(d.theta_hat == 1.0 for d in family)
+
+
+class TestOtherFamilies:
+    def test_linear_demand_interpolates(self):
+        demand = LinearDemand(theta_hat=2.0, floor=0.5)
+        assert demand(0.0) == pytest.approx(0.5)
+        assert demand(1.0) == pytest.approx(0.75)
+        assert demand(2.0) == pytest.approx(1.0)
+
+    def test_linear_demand_invalid_floor(self):
+        with pytest.raises(ModelValidationError):
+            LinearDemand(theta_hat=1.0, floor=1.5)
+
+    def test_unit_demand_everywhere_one(self):
+        demand = UnitDemand(theta_hat=2.0)
+        assert demand(0.0) == 1.0
+        assert demand(1.0) == 1.0
+
+    def test_step_demand_threshold(self):
+        demand = StepDemand(theta_hat=1.0, threshold=0.5, width=0.1)
+        assert demand(0.3) == pytest.approx(0.0)
+        assert demand(0.55) == pytest.approx(1.0)
+        # Middle of the smoothing band.
+        assert 0.0 < demand(0.45) < 1.0
+
+    def test_step_demand_invalid_parameters(self):
+        with pytest.raises(ModelValidationError):
+            StepDemand(theta_hat=1.0, threshold=0.0)
+        with pytest.raises(ModelValidationError):
+            StepDemand(theta_hat=1.0, threshold=0.5, width=0.9)
+
+    def test_sigmoid_midpoint_and_steepness_validation(self):
+        with pytest.raises(ModelValidationError):
+            SigmoidDemand(theta_hat=1.0, midpoint=1.5)
+        with pytest.raises(ModelValidationError):
+            SigmoidDemand(theta_hat=1.0, steepness=0.0)
+
+    def test_piecewise_linear_requires_valid_breakpoints(self):
+        with pytest.raises(ModelValidationError):
+            PiecewiseLinearDemand(theta_hat=1.0, points=[(0.0, 0.5)])
+        with pytest.raises(ModelValidationError):
+            PiecewiseLinearDemand(theta_hat=1.0, points=[(0.1, 0.0), (1.0, 1.0)])
+        with pytest.raises(ModelValidationError):
+            PiecewiseLinearDemand(theta_hat=1.0,
+                                  points=[(0.0, 0.9), (0.5, 0.3), (1.0, 1.0)])
+
+    def test_piecewise_linear_interpolation(self):
+        demand = PiecewiseLinearDemand(
+            theta_hat=1.0, points=[(0.0, 0.0), (0.5, 0.8), (1.0, 1.0)])
+        assert demand(0.25) == pytest.approx(0.4)
+        assert demand(0.75) == pytest.approx(0.9)
+
+    def test_constant_elasticity(self):
+        demand = ConstantElasticityDemand(theta_hat=2.0, elasticity=2.0)
+        assert demand(1.0) == pytest.approx(0.25)
+        zero_elasticity = ConstantElasticityDemand(theta_hat=2.0, elasticity=0.0)
+        assert zero_elasticity(0.1) == 1.0
+
+    def test_offered_load_caps_at_theta_hat(self):
+        demand = UnitDemand(theta_hat=2.0)
+        assert demand.offered_load(5.0) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_validator_rejects_decreasing_function(self):
+        class Decreasing(ExponentialSensitivityDemand):
+            def evaluate(self, theta):
+                return 1.0 - 0.5 * theta / self.theta_hat
+
+            def demand_at_zero(self):
+                return 1.0
+
+        with pytest.raises(ModelValidationError):
+            validate_demand_function(Decreasing(theta_hat=1.0, beta=1.0))
+
+    def test_validator_rejects_discontinuous_function(self):
+        class Jumpy(UnitDemand):
+            def evaluate(self, theta):
+                return 0.0 if theta < 0.5 * self.theta_hat else 1.0
+
+            def demand_at_zero(self):
+                return 0.0
+
+        with pytest.raises(ModelValidationError):
+            validate_demand_function(Jumpy(theta_hat=1.0))
+
+    def test_validator_needs_enough_samples(self):
+        with pytest.raises(ModelValidationError):
+            validate_demand_function(UnitDemand(1.0), samples=2)
+
+
+class TestSampling:
+    def test_sample_demand_curve_endpoints(self):
+        demand = ExponentialSensitivityDemand(theta_hat=1.0, beta=2.0)
+        samples = sample_demand_curve(demand, points=11)
+        assert len(samples) == 11
+        assert samples[0].omega == 0.0
+        assert samples[-1].omega == 1.0
+        assert samples[-1].demand == pytest.approx(1.0)
+
+    def test_sample_demand_curve_requires_two_points(self):
+        with pytest.raises(ModelValidationError):
+            sample_demand_curve(UnitDemand(1.0), points=1)
+
+    def test_throughput_fraction_matches_direct_call(self):
+        demand = ExponentialSensitivityDemand(theta_hat=4.0, beta=1.0)
+        assert demand.throughput_fraction(0.5) == pytest.approx(demand(2.0))

@@ -1,0 +1,77 @@
+"""Tests for the bottleneck-link and service-class value objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.network.link import (
+    ORDINARY_CLASS,
+    PREMIUM_CLASS,
+    BottleneckLink,
+    ServiceClassSpec,
+    TwoClassLink,
+)
+
+
+class TestBottleneckLink:
+    def test_per_capita(self):
+        link = BottleneckLink(capacity=1000.0)
+        assert link.per_capita(consumers=500.0) == pytest.approx(2.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ModelValidationError):
+            BottleneckLink(capacity=-1.0)
+        with pytest.raises(ModelValidationError):
+            BottleneckLink(capacity=float("nan"))
+
+    def test_per_capita_requires_positive_consumers(self):
+        with pytest.raises(ModelValidationError):
+            BottleneckLink(10.0).per_capita(0.0)
+
+    def test_scaled(self):
+        link = BottleneckLink(10.0).scaled(3.0)
+        assert link.capacity == pytest.approx(30.0)
+        with pytest.raises(ModelValidationError):
+            BottleneckLink(10.0).scaled(0.0)
+
+
+class TestServiceClassSpec:
+    def test_capacity_computations(self):
+        spec = ServiceClassSpec(PREMIUM_CLASS, capacity_share=0.25, price=0.5)
+        assert spec.capacity(BottleneckLink(100.0)) == pytest.approx(25.0)
+        assert spec.per_capita_capacity(8.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            ServiceClassSpec("", 0.5, 0.0)
+        with pytest.raises(ModelValidationError):
+            ServiceClassSpec("x", 1.5, 0.0)
+        with pytest.raises(ModelValidationError):
+            ServiceClassSpec("x", 0.5, -0.1)
+        with pytest.raises(ModelValidationError):
+            ServiceClassSpec("x", 0.5, 0.1).per_capita_capacity(-1.0)
+
+
+class TestTwoClassLink:
+    def test_split(self):
+        link = TwoClassLink(BottleneckLink(100.0), kappa=0.3, premium_price=0.4)
+        assert link.ordinary.name == ORDINARY_CLASS
+        assert link.premium.name == PREMIUM_CLASS
+        assert link.ordinary.capacity_share == pytest.approx(0.7)
+        assert link.premium.capacity_share == pytest.approx(0.3)
+        assert link.premium.price == pytest.approx(0.4)
+        assert link.ordinary.price == 0.0
+        assert len(link.classes) == 2
+
+    def test_neutrality(self):
+        base = BottleneckLink(10.0)
+        assert TwoClassLink(base, kappa=0.0, premium_price=0.5).is_neutral
+        assert TwoClassLink(base, kappa=0.5, premium_price=0.0).is_neutral
+        assert not TwoClassLink(base, kappa=0.5, premium_price=0.5).is_neutral
+
+    def test_validation(self):
+        with pytest.raises(ModelValidationError):
+            TwoClassLink(BottleneckLink(10.0), kappa=1.5, premium_price=0.0)
+        with pytest.raises(ModelValidationError):
+            TwoClassLink(BottleneckLink(10.0), kappa=0.5, premium_price=-1.0)

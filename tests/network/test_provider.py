@@ -1,0 +1,195 @@
+"""Tests for the content-provider model and population container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.network.demand import LinearDemand, UnitDemand
+from repro.network.provider import ContentProvider, Population
+
+
+def make_cp(name="cp", alpha=0.5, theta_hat=2.0, beta=1.0, revenue=0.4, utility=1.5):
+    return ContentProvider(name=name, alpha=alpha, theta_hat=theta_hat, beta=beta,
+                           revenue_rate=revenue, utility_rate=utility)
+
+
+class TestContentProviderValidation:
+    def test_valid_provider(self):
+        cp = make_cp()
+        assert cp.alpha == 0.5
+        assert cp.demand is not None
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ModelValidationError):
+            make_cp(alpha=alpha)
+
+    @pytest.mark.parametrize("theta_hat", [0.0, -1.0, float("inf")])
+    def test_invalid_theta_hat(self, theta_hat):
+        with pytest.raises(ModelValidationError):
+            make_cp(theta_hat=theta_hat)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ModelValidationError):
+            make_cp(beta=-0.5)
+
+    def test_invalid_revenue(self):
+        with pytest.raises(ModelValidationError):
+            make_cp(revenue=-1.0)
+
+    def test_invalid_utility(self):
+        with pytest.raises(ModelValidationError):
+            make_cp(utility=-2.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelValidationError):
+            make_cp(name="")
+
+    def test_custom_demand_must_match_theta_hat(self):
+        with pytest.raises(ModelValidationError):
+            ContentProvider(name="x", alpha=0.5, theta_hat=2.0,
+                            demand=UnitDemand(theta_hat=3.0))
+
+    def test_custom_demand_accepted(self):
+        cp = ContentProvider(name="x", alpha=0.5, theta_hat=2.0,
+                             demand=LinearDemand(theta_hat=2.0))
+        assert cp.demand_at(1.0) == pytest.approx(0.5)
+
+
+class TestContentProviderDerivedQuantities:
+    def test_unconstrained_per_capita_rate(self):
+        cp = make_cp(alpha=0.5, theta_hat=2.0)
+        assert cp.unconstrained_per_capita_rate == pytest.approx(1.0)
+
+    def test_rho_caps_at_theta_hat(self):
+        cp = make_cp(beta=0.0, theta_hat=2.0)
+        assert cp.rho(5.0) == pytest.approx(2.0)
+
+    def test_per_capita_rate(self):
+        cp = make_cp(alpha=0.5, theta_hat=2.0, beta=0.0)
+        assert cp.per_capita_rate(2.0) == pytest.approx(1.0)
+
+    def test_throughput_scales_with_consumers(self):
+        cp = make_cp(alpha=0.5, theta_hat=2.0, beta=0.0)
+        assert cp.throughput(2.0, consumers=100.0) == pytest.approx(100.0)
+        with pytest.raises(ModelValidationError):
+            cp.throughput(2.0, consumers=-1.0)
+
+    def test_utility_ordinary_and_premium(self):
+        cp = make_cp(revenue=0.8)
+        rate = 0.5
+        assert cp.utility(rate, consumers=10.0) == pytest.approx(0.8 * 0.5 * 10.0)
+        assert cp.utility(rate, consumers=10.0, premium_price=0.3) == pytest.approx(
+            0.5 * 0.5 * 10.0)
+
+    def test_with_utility_and_revenue_rate(self):
+        cp = make_cp()
+        assert cp.with_utility_rate(9.0).utility_rate == 9.0
+        assert cp.with_revenue_rate(0.9).revenue_rate == 0.9
+        # originals untouched (frozen dataclass copies)
+        assert cp.utility_rate == 1.5
+        assert cp.revenue_rate == 0.4
+
+
+class TestPopulation:
+    def test_unique_names_required(self):
+        with pytest.raises(ModelValidationError):
+            Population([make_cp(name="a"), make_cp(name="a")])
+
+    def test_sequence_protocol(self, two_provider_population):
+        assert len(two_provider_population) == 2
+        assert two_provider_population[0].name == "elastic"
+        assert two_provider_population[0] in two_provider_population
+        assert [cp.name for cp in two_provider_population] == ["elastic", "streaming"]
+
+    def test_slicing_returns_population(self, two_provider_population):
+        sliced = two_provider_population[:1]
+        assert isinstance(sliced, Population)
+        assert len(sliced) == 1
+
+    def test_equality_and_hash(self, two_provider_population):
+        clone = Population(list(two_provider_population))
+        assert clone == two_provider_population
+        assert hash(clone) == hash(two_provider_population)
+        assert two_provider_population != Population([make_cp()])
+
+    def test_vectorised_accessors(self, two_provider_population):
+        np.testing.assert_allclose(two_provider_population.alphas, [1.0, 0.5])
+        np.testing.assert_allclose(two_provider_population.theta_hats, [1.0, 4.0])
+        np.testing.assert_allclose(two_provider_population.betas, [0.0, 2.0])
+        np.testing.assert_allclose(two_provider_population.revenue_rates, [0.8, 0.4])
+        np.testing.assert_allclose(two_provider_population.utility_rates, [1.0, 3.0])
+
+    def test_unconstrained_load(self, two_provider_population):
+        assert two_provider_population.unconstrained_per_capita_load == pytest.approx(
+            1.0 * 1.0 + 0.5 * 4.0)
+
+    def test_subset(self, two_provider_population):
+        subset = two_provider_population.subset([1])
+        assert len(subset) == 1
+        assert subset[0].name == "streaming"
+        with pytest.raises(ModelValidationError):
+            two_provider_population.subset([5])
+
+    def test_subset_deduplicates_and_sorts(self, two_provider_population):
+        subset = two_provider_population.subset([1, 0, 1])
+        assert subset.names == ("elastic", "streaming")
+
+    def test_index_of(self, two_provider_population):
+        assert two_provider_population.index_of("streaming") == 1
+        with pytest.raises(KeyError):
+            two_provider_population.index_of("missing")
+
+    def test_with_utility_rates(self, two_provider_population):
+        updated = two_provider_population.with_utility_rates([7.0, 8.0])
+        assert updated.utility_rates.tolist() == [7.0, 8.0]
+        with pytest.raises(ModelValidationError):
+            two_provider_population.with_utility_rates([1.0])
+
+    def test_sorted_by_revenue(self, two_provider_population):
+        ordered = two_provider_population.sorted_by_revenue()
+        assert ordered[0].name == "elastic"
+        ascending = two_provider_population.sorted_by_revenue(descending=False)
+        assert ascending[0].name == "streaming"
+
+    def test_describe(self, two_provider_population):
+        summary = two_provider_population.describe()
+        assert summary["count"] == 2
+        assert summary["unconstrained_per_capita_load"] == pytest.approx(3.0)
+
+    def test_describe_empty(self):
+        assert Population([]).describe()["count"] == 0
+
+
+class TestVectorisedDemand:
+    def test_matches_scalar_evaluation(self, small_random_population):
+        thetas = small_random_population.theta_hats * 0.4
+        vectorised = small_random_population.demands_at(thetas)
+        scalar = np.array([cp.demand_at(theta)
+                           for cp, theta in zip(small_random_population, thetas)])
+        np.testing.assert_allclose(vectorised, scalar, rtol=1e-12, atol=1e-12)
+
+    def test_zero_throughput_limits(self, two_provider_population):
+        demands = two_provider_population.demands_at(np.zeros(2))
+        # beta = 0 provider keeps demand 1, beta > 0 provider drops to 0.
+        np.testing.assert_allclose(demands, [1.0, 0.0])
+
+    def test_above_theta_hat_clamps(self, two_provider_population):
+        demands = two_provider_population.demands_at(np.array([10.0, 10.0]))
+        np.testing.assert_allclose(demands, [1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self, two_provider_population):
+        with pytest.raises(ModelValidationError):
+            two_provider_population.demands_at(np.zeros(3))
+
+    def test_fallback_for_non_exponential_demand(self):
+        population = Population([
+            ContentProvider(name="custom", alpha=0.5, theta_hat=2.0,
+                            demand=LinearDemand(theta_hat=2.0)),
+            ContentProvider(name="expo", alpha=0.5, theta_hat=2.0, beta=1.0),
+        ])
+        demands = population.demands_at(np.array([1.0, 1.0]))
+        assert demands[0] == pytest.approx(0.5)
+        assert demands[1] == pytest.approx(np.exp(-1.0))

@@ -1,0 +1,99 @@
+"""Tests for NetworkSystem (the (M, mu, N) triple) and service-class outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.network.link import BottleneckLink, ServiceClassSpec
+from repro.network.system import NetworkSystem
+
+
+class TestConstruction:
+    def test_basic_quantities(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, consumers=1000.0,
+                               link=BottleneckLink(2000.0))
+        assert system.nu == pytest.approx(2.0)
+        assert system.required_nu == pytest.approx(5.5)
+
+    def test_from_per_capita(self, google_netflix_skype):
+        system = NetworkSystem.from_per_capita(google_netflix_skype, nu=3.0)
+        assert system.nu == pytest.approx(3.0)
+
+    def test_invalid_consumers(self, google_netflix_skype):
+        with pytest.raises(ModelValidationError):
+            NetworkSystem(google_netflix_skype, consumers=0.0,
+                          link=BottleneckLink(1.0))
+
+
+class TestAxiom4Scaling:
+    def test_scaled_system_has_same_equilibrium(self, google_netflix_skype):
+        base = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(2000.0))
+        scaled = base.scaled(7.5)
+        assert scaled.nu == pytest.approx(base.nu)
+        base_eq = base.equilibrium()
+        scaled_eq = scaled.equilibrium()
+        for a, b in zip(base_eq.thetas, scaled_eq.thetas):
+            assert a == pytest.approx(b, rel=1e-9)
+        assert base.per_capita_consumer_surplus() == pytest.approx(
+            scaled.per_capita_consumer_surplus())
+
+    def test_absolute_surplus_scales_linearly(self, google_netflix_skype):
+        base = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(2000.0))
+        scaled = base.scaled(2.0)
+        assert scaled.consumer_surplus() == pytest.approx(
+            2.0 * base.consumer_surplus(), rel=1e-9)
+
+    def test_invalid_scale_factor(self, google_netflix_skype):
+        base = NetworkSystem(google_netflix_skype, 10.0, BottleneckLink(20.0))
+        with pytest.raises(ModelValidationError):
+            base.scaled(-1.0)
+
+
+class TestSubsystems:
+    def test_subsystem_capacity_share(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(2000.0))
+        subsystem = system.subsystem([0, 2], capacity_share=0.5)
+        assert subsystem.nu == pytest.approx(1.0)
+        assert len(subsystem.population) == 2
+
+    def test_subsystem_invalid_share(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(2000.0))
+        with pytest.raises(ModelValidationError):
+            system.subsystem([0], capacity_share=1.5)
+
+    def test_class_outcome(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(2000.0))
+        spec = ServiceClassSpec("premium", capacity_share=0.5, price=0.3)
+        outcome = system.class_outcome(spec, [1, 2])
+        assert outcome.per_capita_capacity == pytest.approx(1.0)
+        assert outcome.carried_rate <= 1.0 + 1e-9
+        assert outcome.isp_revenue == pytest.approx(0.3 * outcome.carried_rate)
+        assert outcome.consumer_surplus >= 0.0
+        assert len(outcome.population) == 2
+
+    def test_class_outcome_saturation_flag(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(1000.0))
+        congested = system.class_outcome(
+            ServiceClassSpec("premium", 0.2, 0.0), [0, 1, 2])
+        assert congested.is_saturated
+        roomy = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(3000.0))
+        abundant = roomy.class_outcome(ServiceClassSpec("premium", 1.0, 0.0), [0])
+        assert not abundant.is_saturated
+
+    def test_zero_capacity_class_is_saturated(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 1000.0, BottleneckLink(1000.0))
+        outcome = system.class_outcome(ServiceClassSpec("ordinary", 0.0, 0.0), [0])
+        assert outcome.is_saturated
+        assert outcome.carried_rate == pytest.approx(0.0)
+
+
+class TestSurplus:
+    def test_per_capita_vs_absolute(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 400.0, BottleneckLink(800.0))
+        assert system.consumer_surplus() == pytest.approx(
+            400.0 * system.per_capita_consumer_surplus())
+
+    def test_repr_mentions_mechanism(self, google_netflix_skype):
+        system = NetworkSystem(google_netflix_skype, 10.0, BottleneckLink(20.0))
+        assert "MaxMinFairAllocation" in repr(system)

@@ -1,0 +1,133 @@
+"""Tests for the figure / theorem reproduction entry points.
+
+These run the experiment functions on small populations and coarse grids so
+the suite stays fast; the full paper-scale runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import experiments
+from repro.simulation.results import ExperimentResult
+from repro.workloads.populations import PopulationSpec, random_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return random_population(PopulationSpec(count=150), seed=13)
+
+
+def small_nu(population, fraction):
+    return fraction * population.unconstrained_per_capita_load
+
+
+class TestFigure2:
+    def test_structure_and_findings(self):
+        result = experiments.figure2_demand_curves(betas=(0.1, 1.0, 5.0), points=41)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "FIG2"
+        panel = result.panels[0]
+        assert set(panel.names) == {"beta=0.1", "beta=1", "beta=5"}
+        assert result.findings["beta5_halved_by_10pct_drop"] is True
+        assert result.findings["low_beta_insensitive"] is True
+
+
+class TestFigure3:
+    def test_saturation_ordering(self):
+        result = experiments.figure3_maxmin_throughput(
+            capacities=[c * 100.0 for c in range(0, 61, 5)])
+        assert result.experiment_id == "FIG3"
+        assert result.findings["google_saturates_before_skype_before_netflix"] is True
+        assert len(result.panels) == 3
+
+
+class TestFigure4Family:
+    def test_monopoly_price_experiment(self, population):
+        load = population.unconstrained_per_capita_load
+        result = experiments.figure4_monopoly_price(
+            population=population, nus=(0.2 * load, 0.8 * load),
+            prices=(0.0, 0.05, 0.2, 0.45, 0.7, 1.0))
+        assert result.experiment_id == "FIG4"
+        assert result.findings["psi_linear_small_c"] is True
+        assert result.findings["monopoly_misaligned_when_capacity_abundant"] is True
+        assert len(result.panels) == 2
+
+    def test_appendix_variant_uses_independent_utilities(self, population):
+        result = experiments.figure9_appendix_monopoly_price(
+            nus=(5.0, 20.0), prices=(0.0, 0.3, 0.6, 1.0), count=80)
+        assert result.experiment_id == "FIG9"
+        assert result.parameters["utility_model"] == "independent"
+
+
+class TestFigure5Family:
+    def test_monopoly_capacity_experiment(self, population):
+        load = population.unconstrained_per_capita_load
+        result = experiments.figure5_monopoly_capacity(
+            population=population, kappas=(0.3, 0.9), prices=(0.5,),
+            nus=(0.1 * load, 0.5 * load, 1.6 * load))
+        assert result.experiment_id == "FIG5"
+        assert result.findings["psi_high_kappa_geq_low_kappa_at_large_nu"] is True
+        assert result.findings["phi_low_kappa_geq_high_kappa_at_large_nu"] is True
+        assert result.findings["psi_low_kappa_vanishes_at_large_nu"] is True
+        assert result.findings["max_epsilon"] >= 0.0
+
+
+class TestFigure7Family:
+    def test_duopoly_price_experiment(self, population):
+        load = population.unconstrained_per_capita_load
+        result = experiments.figure7_duopoly_price(
+            population=population, nus=(0.6 * load,),
+            prices=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0))
+        assert result.experiment_id == "FIG7"
+        assert result.findings["phi_stays_positive_at_c1"] is True
+        assert result.findings["psi_drops_to_zero_at_c1"] is True
+        assert result.findings["share_collapses_after_peak"] is True
+
+
+class TestFigure8Family:
+    def test_duopoly_capacity_experiment(self, population):
+        load = population.unconstrained_per_capita_load
+        result = experiments.figure8_duopoly_capacity(
+            population=population, kappas=(1.0,), prices=(0.3,),
+            nus=(0.3 * load, 1.5 * load))
+        assert result.experiment_id == "FIG8"
+        assert result.findings["strategic_isp_capped_near_half_at_large_nu"] is True
+        assert result.findings["phi_insensitive_to_strategy"] is True
+
+
+class TestTheoremExperiments:
+    def test_theorem4(self, population):
+        result = experiments.theorem4_kappa_dominance(
+            population=population, nus=(5.0, 20.0), prices=(0.3, 0.7),
+            kappas=(0.5, 1.0))
+        assert result.findings["kappa_one_dominates_everywhere"] is True
+
+    def test_theorem5(self, population):
+        load = population.unconstrained_per_capita_load
+        result = experiments.theorem5_public_option_alignment(
+            population=population, nu=0.6 * load, kappas=(1.0,),
+            prices=(0.2, 0.5, 0.8))
+        assert result.findings["theorem5_holds_within_tolerance"] is True
+
+    def test_lemma4(self):
+        result = experiments.lemma4_proportional_shares(
+            nu=20.0, capacity_shares={"A": 0.6, "B": 0.4}, count=80)
+        assert result.findings["lemma4_holds"] is True
+
+    def test_theorem6(self):
+        result = experiments.theorem6_alignment(
+            nu=20.0, capacity_shares={"A": 0.5, "B": 0.5},
+            kappas=(1.0,), prices=(0.3, 0.7), count=80)
+        assert "surplus_shortfall" in result.findings
+        assert result.findings["theorem6_bound_holds"] in (True, False)
+
+    def test_regulation_regimes(self, population):
+        load = population.unconstrained_per_capita_load
+        result = experiments.regulation_regimes(
+            population=population, nu=0.8 * load, kappas=(1.0,),
+            prices=(0.3, 0.6))
+        assert set(result.findings["surplus_by_regime"]) == {
+            "unregulated_monopoly", "neutral_monopoly", "public_option",
+            "oligopoly_competition"}
+        assert result.findings["paper_ordering_holds"] is True

@@ -1,0 +1,67 @@
+"""Tests for Monte-Carlo replication helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.simulation.montecarlo import (
+    MonteCarloSummary,
+    monte_carlo,
+    summarise_metrics,
+)
+
+
+class TestMonteCarlo:
+    def test_collects_metrics_across_seeds(self):
+        def experiment(seed):
+            return {"value": float(seed), "flag": seed % 2 == 0, "text": "skip"}
+
+        summary = monte_carlo(experiment, seeds=[1, 2, 3, 4])
+        value = summary.summary("value")
+        assert value.count == 4
+        assert value.mean == pytest.approx(2.5)
+        assert value.minimum == 1.0
+        assert value.maximum == 4.0
+        assert value.spread == pytest.approx(3.0)
+        assert summary.fraction_true("flag") == pytest.approx(0.5)
+        assert "text" not in summary.samples
+
+    def test_requires_seeds(self):
+        with pytest.raises(ModelValidationError):
+            monte_carlo(lambda seed: {}, seeds=[])
+
+    def test_missing_metric_raises(self):
+        summary = MonteCarloSummary()
+        summary.add(1, {"a": 1.0})
+        with pytest.raises(KeyError):
+            summary.summary("b")
+        with pytest.raises(KeyError):
+            summary.fraction_true("b")
+
+    def test_table_output(self):
+        summary = MonteCarloSummary()
+        summary.add(1, {"metric": 1.0})
+        summary.add(2, {"metric": 3.0})
+        table = summary.to_table()
+        assert "metric" in table
+        assert "mean" in table
+
+    def test_summaries_mapping(self):
+        summary = MonteCarloSummary()
+        summary.add(1, {"a": 1.0, "b": 2.0})
+        assert set(summary.summaries()) == {"a", "b"}
+
+
+class TestSummariseMetrics:
+    def test_filters_non_numeric(self):
+        metrics = summarise_metrics({"x": 1.5, "ok": True, "name": "skip",
+                                     "nested": {"a": 1}})
+        assert metrics == {"x": 1.5, "ok": 1.0}
+
+    def test_experiment_findings_roundtrip(self):
+        from repro.simulation import experiments
+
+        result = experiments.figure2_demand_curves(betas=(0.1, 5.0), points=21)
+        metrics = summarise_metrics(result.findings)
+        assert metrics["beta5_halved_by_10pct_drop"] == 1.0

@@ -1,0 +1,79 @@
+"""Tests for the series / sweep / experiment result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.simulation.results import ExperimentResult, Series, SweepResult
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelValidationError):
+            Series(name="s", x=(1.0, 2.0), y=(1.0,))
+
+    def test_basic_accessors(self):
+        series = Series(name="s", x=(0.0, 1.0, 2.0), y=(3.0, 5.0, 4.0))
+        assert len(series) == 3
+        assert series.y_max == 5.0
+        assert series.y_min == 3.0
+        assert series.argmax_x() == 1.0
+        assert series.value_at(2.0) == 4.0
+
+    def test_value_at_missing_x(self):
+        series = Series(name="s", x=(0.0,), y=(1.0,))
+        with pytest.raises(KeyError):
+            series.value_at(0.5)
+
+    def test_values_coerced_to_float(self):
+        series = Series(name="s", x=(0, 1), y=(2, 3))
+        assert series.x == (0.0, 1.0)
+        assert series.y == (2.0, 3.0)
+
+
+class TestSweepResult:
+    def test_add_and_get(self):
+        sweep = SweepResult(title="t")
+        sweep.add(Series(name="a", x=(0.0, 1.0), y=(1.0, 2.0)))
+        sweep.add(Series(name="b", x=(0.0, 1.0), y=(3.0, 4.0)))
+        assert sweep.names == ["a", "b"]
+        assert sweep.get("a").y == (1.0, 2.0)
+        with pytest.raises(KeyError):
+            sweep.get("missing")
+
+    def test_to_table(self):
+        sweep = SweepResult(title="my sweep")
+        sweep.add(Series(name="a", x=(0.0, 1.0), y=(1.0, 2.0), x_label="nu"))
+        sweep.add(Series(name="b", x=(0.0, 1.0), y=(3.0, 4.0)))
+        table = sweep.to_table()
+        assert "my sweep" in table
+        assert "a" in table and "b" in table
+        assert "nu" in table
+
+    def test_to_table_requires_shared_x(self):
+        sweep = SweepResult(title="bad")
+        sweep.add(Series(name="a", x=(0.0, 1.0), y=(1.0, 2.0)))
+        sweep.add(Series(name="b", x=(0.0, 2.0), y=(3.0, 4.0)))
+        with pytest.raises(ModelValidationError):
+            sweep.to_table()
+
+    def test_empty_table(self):
+        assert "(empty)" in SweepResult(title="nothing").to_table()
+
+
+class TestExperimentResult:
+    def test_panels_and_findings(self):
+        result = ExperimentResult(experiment_id="X", description="demo",
+                                  parameters={"nu": 5})
+        panel = SweepResult(title="p")
+        panel.add(Series(name="a", x=(0.0,), y=(1.0,)))
+        result.add_panel(panel)
+        result.findings["holds"] = True
+        assert result.panel("p") is panel
+        with pytest.raises(KeyError):
+            result.panel("missing")
+        report = result.report()
+        assert "X" in report and "demo" in report
+        assert "holds" in report
+        assert "nu=5" in report

@@ -1,0 +1,55 @@
+"""Tests for the monopoly / duopoly sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategy import ISPStrategy
+from repro.simulation.sweep import (
+    duopoly_capacity_sweep,
+    duopoly_price_sweep,
+    monopoly_capacity_sweep,
+    monopoly_price_sweep,
+)
+
+
+class TestMonopolySweeps:
+    def test_price_sweep_panels(self, small_random_population):
+        psi, phi = monopoly_price_sweep(small_random_population, nus=(1.0, 3.0),
+                                        prices=(0.1, 0.5, 0.9), kappa=1.0)
+        assert psi.names == ["nu=1", "nu=3"]
+        assert phi.names == ["nu=1", "nu=3"]
+        assert len(psi.get("nu=1")) == 3
+        # With kappa=1 and the smallest price the premium class is saturated,
+        # so Psi = c * nu.
+        assert psi.get("nu=1").value_at(0.1) == pytest.approx(0.1 * 1.0, rel=1e-6)
+
+    def test_capacity_sweep_panels(self, small_random_population):
+        strategies = [ISPStrategy(0.5, 0.3), ISPStrategy(1.0, 0.3)]
+        psi, phi = monopoly_capacity_sweep(small_random_population, strategies,
+                                           nus=(1.0, 5.0, 20.0))
+        assert len(psi.series) == 2
+        assert len(phi.series) == 2
+        # Theorem 4: kappa=1 earns at least as much as kappa=0.5 at equal price.
+        for nu in (1.0, 5.0, 20.0):
+            assert psi.get("kappa=1,c=0.3").value_at(nu) >= \
+                psi.get("kappa=0.5,c=0.3").value_at(nu) - 1e-9
+
+
+class TestDuopolySweeps:
+    def test_price_sweep_panels(self, small_random_population):
+        share, psi, phi = duopoly_price_sweep(small_random_population, nus=(3.0,),
+                                              prices=(0.0, 0.4, 0.9), kappa=1.0)
+        assert share.names == ["nu=3"]
+        series = share.get("nu=3")
+        assert all(0.0 <= value <= 1.0 for value in series.y)
+        # The neutral price point splits the market evenly.
+        assert series.value_at(0.0) == pytest.approx(0.5, abs=0.02)
+        assert all(value > 0.0 for value in phi.get("nu=3").y)
+
+    def test_capacity_sweep_panels(self, small_random_population):
+        share, psi, phi = duopoly_capacity_sweep(
+            small_random_population, [ISPStrategy(1.0, 0.3)], nus=(2.0, 10.0))
+        assert share.names == ["kappa=1,c=0.3"]
+        assert len(phi.get("kappa=1,c=0.3")) == 2
+        assert phi.get("kappa=1,c=0.3").y[1] >= phi.get("kappa=1,c=0.3").y[0] - 1e-9

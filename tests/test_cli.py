@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_REGISTRY, build_parser, main
+
+
+class TestParser:
+    def test_registry_covers_all_paper_experiments(self):
+        expected = {"FIG2", "FIG3", "FIG4", "FIG5", "FIG7", "FIG8", "FIG9",
+                    "FIG10", "FIG11", "FIG12", "THM4", "THM5", "LEM4", "THM6",
+                    "REG"}
+        assert set(EXPERIMENT_REGISTRY) == expected
+
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "FIG2"])
+        assert args.command == "run"
+        assert args.experiment == "FIG2"
+        args = parser.parse_args(["regimes", "--nu", "150"])
+        assert args.nu == 150.0
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "FIG99"])
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG2" in output
+        assert "THM5" in output
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "FIG2"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG2" in output
+        assert "findings" in output
+
+    def test_run_with_count_override(self, capsys):
+        assert main(["run", "THM4", "--count", "60", "--max-rows", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "kappa_one_dominates_everywhere" in output
+
+    def test_population_command(self, capsys):
+        assert main(["population", "--count", "50"]) == 0
+        output = capsys.readouterr().out
+        assert "count" in output
+        assert "unconstrained_per_capita_load" in output

@@ -1,0 +1,128 @@
+"""End-to-end integration tests: the paper's storyline on a small population.
+
+Each test follows one of the paper's arguments from workload generation
+through the game layer to the welfare conclusion, exercising the public API
+the way the examples and benchmarks do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DuopolyGame,
+    ISPStrategy,
+    MonopolyGame,
+    NEUTRAL_STRATEGY,
+    OligopolyGame,
+    PUBLIC_OPTION_STRATEGY,
+    compare_regimes,
+    solve_rate_equilibrium,
+    strategy_grid,
+)
+from repro.workloads.populations import PopulationSpec, random_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return random_population(PopulationSpec(count=150), seed=42)
+
+
+@pytest.fixture(scope="module")
+def scarce_nu(population):
+    return 0.2 * population.unconstrained_per_capita_load
+
+
+@pytest.fixture(scope="module")
+def abundant_nu(population):
+    return 0.85 * population.unconstrained_per_capita_load
+
+
+class TestMonopolyStory:
+    """Section III: an unregulated monopolist hurts consumers when capacity
+    is abundant; neutral regulation restores (most of) the surplus."""
+
+    def test_unregulated_vs_neutral(self, population, abundant_nu):
+        game = MonopolyGame(population, abundant_nu)
+        grid = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.45, 0.7))
+        selfish = game.revenue_optimal(grid)
+        neutral = game.neutral_outcome()
+        assert selfish.isp_surplus > 0.0
+        assert neutral.consumer_surplus >= selfish.consumer_surplus - 1e-9
+
+    def test_monopolist_prefers_kappa_one(self, population, abundant_nu):
+        game = MonopolyGame(population, abundant_nu)
+        grid = strategy_grid(kappas=(0.25, 0.5, 0.75, 1.0), prices=(0.45,))
+        best = game.revenue_optimal(grid)
+        assert best.strategy.kappa == 1.0
+
+    def test_scarce_capacity_keeps_premium_saturated(self, population, scarce_nu):
+        game = MonopolyGame(population, scarce_nu)
+        outcome = game.outcome(ISPStrategy(1.0, 0.2))
+        assert outcome.premium_saturated
+        assert outcome.isp_surplus == pytest.approx(0.2 * scarce_nu, rel=1e-6)
+
+
+class TestPublicOptionStory:
+    """Section IV-A: the Public Option aligns the strategic ISP with consumers
+    and achieves at least the neutral-regulation surplus."""
+
+    def test_public_option_beats_neutral_regulation(self, population, abundant_nu):
+        grid = strategy_grid(kappas=(0.5, 1.0), prices=(0.2, 0.45, 0.7),
+                             include_public_option=True)
+        duopoly = DuopolyGame(population, abundant_nu, 0.5)
+        best_for_share = duopoly.best_response(grid, objective="market_share")
+        neutral_phi = MonopolyGame(population, abundant_nu).neutral_outcome().consumer_surplus
+        assert best_for_share.consumer_surplus >= neutral_phi - 0.02 * abs(neutral_phi)
+
+    def test_bad_strategies_are_punished_with_market_share(self, population,
+                                                           abundant_nu):
+        duopoly = DuopolyGame(population, abundant_nu, 0.5)
+        reasonable = duopoly.outcome(ISPStrategy(1.0, 0.3))
+        extortionate = duopoly.outcome(ISPStrategy(1.0, 0.95))
+        assert extortionate.market_share <= reasonable.market_share + 1e-9
+        assert extortionate.market_share <= 0.25
+
+    def test_public_option_always_retains_surplus_floor(self, population,
+                                                        abundant_nu):
+        """Whatever the strategic ISP does, consumers keep at least the
+        surplus of the Public Option's capacity alone."""
+        duopoly = DuopolyGame(population, abundant_nu, 0.5)
+        floor = solve_rate_equilibrium(population, 0.5 * abundant_nu).consumer_surplus()
+        for price in (0.1, 0.5, 0.9):
+            outcome = duopoly.outcome(ISPStrategy(1.0, price))
+            assert outcome.consumer_surplus >= floor * (1.0 - 1e-6)
+
+
+class TestOligopolyStory:
+    """Section IV-B: competition aligns selfish strategies with consumers and
+    market shares track capacity shares."""
+
+    def test_homogeneous_duopoly_shares_follow_capacity(self, population):
+        nu = 0.4 * population.unconstrained_per_capita_load
+        game = OligopolyGame(population, nu, {"big": 0.7, "small": 0.3})
+        outcome = game.homogeneous_outcome(ISPStrategy(1.0, 0.3))
+        assert outcome.market_share("big") == pytest.approx(0.7, abs=0.03)
+        assert outcome.market_share("small") == pytest.approx(0.3, abs=0.03)
+
+    def test_regime_ranking(self, population, abundant_nu):
+        comparison = compare_regimes(
+            population, abundant_nu,
+            strategy_grid(kappas=(1.0,), prices=(0.2, 0.45, 0.7)))
+        assert comparison.paper_ordering_holds(tolerance=0.02)
+        ranking = [r.regime for r in comparison.ranking()]
+        # The unregulated monopoly is never the best regime for consumers.
+        assert ranking[0] != "unregulated_monopoly"
+
+
+class TestNeutralAndPublicOptionEquivalence:
+    def test_neutral_strategy_equals_public_option_strategy(self):
+        assert NEUTRAL_STRATEGY == PUBLIC_OPTION_STRATEGY
+
+    def test_full_capacity_public_option_is_best_possible(self, population):
+        """A Public Option owning all capacity reproduces the neutral optimum."""
+        nu = population.unconstrained_per_capita_load
+        phi_neutral = solve_rate_equilibrium(population, nu).consumer_surplus()
+        game = MonopolyGame(population, nu)
+        assert game.neutral_outcome().consumer_surplus == pytest.approx(
+            phi_neutral, rel=1e-9)

@@ -1,0 +1,65 @@
+"""Tests for the archetype content providers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.workloads.archetypes import (
+    archetype_mix,
+    archetype_population,
+    google_type,
+    netflix_type,
+    skype_type,
+)
+
+
+class TestArchetypes:
+    def test_paper_parameters(self):
+        google = google_type()
+        netflix = netflix_type()
+        skype = skype_type()
+        assert (google.alpha, google.theta_hat, google.beta) == (1.0, 1.0, 0.1)
+        assert (netflix.alpha, netflix.theta_hat, netflix.beta) == (0.3, 10.0, 3.0)
+        assert (skype.alpha, skype.theta_hat, skype.beta) == (0.5, 3.0, 5.0)
+
+    def test_sensitivity_ordering(self):
+        assert google_type().beta < netflix_type().beta < skype_type().beta
+
+    def test_custom_names_and_rates(self):
+        cp = netflix_type(name="vod", revenue_rate=0.9, utility_rate=4.0)
+        assert cp.name == "vod"
+        assert cp.revenue_rate == 0.9
+        assert cp.utility_rate == 4.0
+
+    def test_archetype_population(self):
+        population = archetype_population()
+        assert population.names == ("google", "netflix", "skype")
+        assert population.unconstrained_per_capita_load == pytest.approx(5.5)
+
+
+class TestArchetypeMix:
+    def test_counts(self):
+        population = archetype_mix({"google": 2, "skype": 3})
+        assert len(population) == 5
+        assert sum(1 for n in population.names if n.startswith("google")) == 2
+        assert sum(1 for n in population.names if n.startswith("skype")) == 3
+
+    def test_rate_overrides(self):
+        population = archetype_mix({"netflix": 2},
+                                   revenue_rates={"netflix": 0.99},
+                                   utility_rates={"netflix": 7.0})
+        assert all(cp.revenue_rate == 0.99 for cp in population)
+        assert all(cp.utility_rate == 7.0 for cp in population)
+
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(ModelValidationError):
+            archetype_mix({"bittorrent": 1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelValidationError):
+            archetype_mix({"google": -1})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ModelValidationError):
+            archetype_mix({"google": 0})

@@ -1,0 +1,100 @@
+"""Tests for the random population generators (the paper's 1000-CP workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.workloads.populations import (
+    DEFAULT_SEED,
+    PopulationSpec,
+    paper_population,
+    random_population,
+)
+
+
+class TestPopulationSpec:
+    def test_defaults_match_paper(self):
+        spec = PopulationSpec()
+        assert spec.count == 1000
+        assert spec.alpha_range == (0.0, 1.0)
+        assert spec.beta_range == (0.0, 10.0)
+        assert spec.utility_model == "beta_correlated"
+
+    def test_invalid_count(self):
+        with pytest.raises(ModelValidationError):
+            PopulationSpec(count=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ModelValidationError):
+            PopulationSpec(beta_range=(5.0, 1.0))
+
+    def test_invalid_utility_model(self):
+        with pytest.raises(ModelValidationError):
+            PopulationSpec(utility_model="bogus")
+
+
+class TestRandomPopulation:
+    def test_reproducible_with_seed(self):
+        a = random_population(PopulationSpec(count=50), seed=3)
+        b = random_population(PopulationSpec(count=50), seed=3)
+        np.testing.assert_allclose(a.alphas, b.alphas)
+        np.testing.assert_allclose(a.utility_rates, b.utility_rates)
+
+    def test_different_seeds_differ(self):
+        a = random_population(PopulationSpec(count=50), seed=3)
+        b = random_population(PopulationSpec(count=50), seed=4)
+        assert not np.allclose(a.alphas, b.alphas)
+
+    def test_parameters_within_ranges(self):
+        population = random_population(PopulationSpec(count=200), seed=5)
+        assert np.all(population.alphas > 0.0)
+        assert np.all(population.alphas <= 1.0)
+        assert np.all(population.theta_hats > 0.0)
+        assert np.all(population.theta_hats <= 1.0)
+        assert np.all(population.betas >= 0.0)
+        assert np.all(population.betas <= 10.0)
+        assert np.all(population.revenue_rates >= 0.0)
+        assert np.all(population.revenue_rates <= 1.0)
+
+    def test_beta_correlated_utilities_bounded_by_beta(self):
+        population = random_population(PopulationSpec(count=200), seed=5)
+        assert np.all(population.utility_rates <= population.betas + 1e-12)
+
+    def test_custom_generator(self):
+        rng = np.random.default_rng(1)
+        population = random_population(PopulationSpec(count=10), rng=rng)
+        assert len(population) == 10
+
+    def test_name_prefix(self):
+        population = random_population(PopulationSpec(count=3), seed=1,
+                                       name_prefix="prov")
+        assert all(name.startswith("prov-") for name in population.names)
+
+
+class TestPaperPopulation:
+    def test_default_size_and_seed(self):
+        population = paper_population(count=100)
+        again = paper_population(count=100, seed=DEFAULT_SEED)
+        np.testing.assert_allclose(population.alphas, again.alphas)
+
+    def test_required_capacity_near_250_for_1000_cps(self):
+        population = paper_population(count=1000)
+        # E[alpha * theta_hat] = 0.25, so the saturation capacity is ~250.
+        assert 230.0 <= population.unconstrained_per_capita_load <= 270.0
+
+    def test_independent_utility_model_keeps_other_parameters(self):
+        base = paper_population(count=100)
+        appendix = paper_population(count=100, utility_model="independent")
+        np.testing.assert_allclose(base.alphas, appendix.alphas)
+        np.testing.assert_allclose(base.revenue_rates, appendix.revenue_rates)
+        assert not np.allclose(base.utility_rates, appendix.utility_rates)
+
+    def test_independent_utilities_not_bounded_by_beta(self):
+        appendix = paper_population(count=500, utility_model="independent")
+        assert np.any(appendix.utility_rates > appendix.betas)
+
+    def test_invalid_utility_model(self):
+        with pytest.raises(ModelValidationError):
+            paper_population(count=10, utility_model="bogus")

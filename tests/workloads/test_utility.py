@@ -1,0 +1,67 @@
+"""Tests for the consumer-utility models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.workloads.utility import (
+    assign_utilities,
+    beta_correlated_utilities,
+    independent_utilities,
+)
+
+
+class TestBetaCorrelated:
+    def test_bounded_by_beta(self):
+        betas = np.array([0.5, 2.0, 10.0])
+        utilities = beta_correlated_utilities(betas, seed=1)
+        assert np.all(utilities >= 0.0)
+        assert np.all(utilities <= betas)
+
+    def test_reproducible(self):
+        betas = [1.0, 2.0, 3.0]
+        a = beta_correlated_utilities(betas, seed=2)
+        b = beta_correlated_utilities(betas, seed=2)
+        np.testing.assert_allclose(a, b)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ModelValidationError):
+            beta_correlated_utilities([-1.0], seed=1)
+
+
+class TestIndependent:
+    def test_bounded_by_scale(self):
+        utilities = independent_utilities(500, scale=10.0, seed=3)
+        assert np.all(utilities >= 0.0)
+        assert np.all(utilities <= 10.0)
+
+    def test_count_and_validation(self):
+        assert independent_utilities(0, seed=1).shape == (0,)
+        with pytest.raises(ModelValidationError):
+            independent_utilities(-1)
+        with pytest.raises(ModelValidationError):
+            independent_utilities(5, scale=-1.0)
+
+    def test_two_level_uniform_is_not_plain_uniform(self):
+        """U[0, U[0, 10]] concentrates more mass at small values than U[0, 10]."""
+        utilities = independent_utilities(4000, scale=10.0, seed=4)
+        assert np.mean(utilities) < 3.5  # plain U[0,10] would average ~5
+
+
+class TestAssignUtilities:
+    def test_beta_correlated_assignment(self, small_random_population):
+        updated = assign_utilities(small_random_population, "beta_correlated", seed=5)
+        assert np.all(updated.utility_rates <= small_random_population.betas + 1e-12)
+        # other fields untouched
+        np.testing.assert_allclose(updated.alphas, small_random_population.alphas)
+
+    def test_independent_assignment(self, small_random_population):
+        updated = assign_utilities(small_random_population, "independent", seed=5,
+                                   scale=4.0)
+        assert np.all(updated.utility_rates <= 4.0)
+
+    def test_invalid_model(self, small_random_population):
+        with pytest.raises(ModelValidationError):
+            assign_utilities(small_random_population, "bogus")
