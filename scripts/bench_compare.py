@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_summary.json`` files and fail on performance regression.
+
+Usage::
+
+    python scripts/bench_compare.py baseline.json current.json \
+        [--threshold 1.25] [--min-seconds 0.05]
+
+Prints a per-benchmark table (baseline seconds, current seconds, ratio) and
+exits non-zero when any benchmark slowed down by more than ``--threshold``
+(a ratio: 1.25 means "25% slower fails").  Benchmarks faster than
+``--min-seconds`` in both runs are ignored — their timings are noise.
+Benchmarks present in only one file are reported but never fail the check,
+so adding or retiring benchmarks does not break CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_timings(path: Path) -> dict[str, float]:
+    """Per-benchmark wall times from a summary file.
+
+    Accepts both the harness schema (``{"benchmarks": {name: {"seconds":
+    s}}}``) and a flat ``{name: seconds}`` mapping, so hand-written
+    baselines work too.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+    entries = payload.get("benchmarks", payload) if isinstance(payload, dict) \
+        else None
+    if not isinstance(entries, dict):
+        raise SystemExit(f"bench_compare: {path} is not a benchmark summary")
+    timings: dict[str, float] = {}
+    for name, value in entries.items():
+        if name in ("schema", "caches", "note"):
+            # Harness metadata, not benchmarks — a flat file copied from the
+            # harness schema must not grow a fake benchmark named "schema".
+            continue
+        if isinstance(value, dict):
+            value = value.get("seconds")
+        if isinstance(value, (int, float)):
+            timings[name] = float(value)
+    return timings
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            threshold: float, min_seconds: float) -> tuple[list[str], bool]:
+    """Render the comparison table; returns (lines, any_regression)."""
+    names = sorted(set(baseline) | set(current))
+    width = max([len(name) for name in names] + [12])
+    header = (f"{'benchmark':<{width}} {'baseline':>10} {'current':>10} "
+              f"{'ratio':>8}  status")
+    lines = [header, "-" * len(header)]
+    regressed = False
+    for name in names:
+        before = baseline.get(name)
+        after = current.get(name)
+        if before is None or after is None:
+            status = "baseline-only" if after is None else "new"
+            shown = before if before is not None else after
+            lines.append(f"{name:<{width}} "
+                         f"{(before if before is not None else float('nan')):>10.3f} "
+                         f"{(after if after is not None else float('nan')):>10.3f} "
+                         f"{'':>8}  {status} ({shown:.3f}s)")
+            continue
+        ratio = after / before if before > 0 else float("inf")
+        if max(before, after) < min_seconds:
+            status = "ignored (below min-seconds)"
+        elif ratio > threshold:
+            status = f"REGRESSION (>{threshold:g}x)"
+            regressed = True
+        elif ratio < 1.0 / threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(f"{name:<{width}} {before:>10.3f} {after:>10.3f} "
+                     f"{ratio:>8.3f}  {status}")
+    return lines, regressed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regressed between two summaries.")
+    parser.add_argument("baseline", type=Path,
+                        help="BENCH_summary.json of the reference run")
+    parser.add_argument("current", type=Path,
+                        help="BENCH_summary.json of the run under test")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="failure ratio current/baseline (default 1.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore benchmarks faster than this in both runs")
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+    baseline = load_timings(args.baseline)
+    current = load_timings(args.current)
+    lines, regressed = compare(baseline, current, args.threshold,
+                               args.min_seconds)
+    print("\n".join(lines))
+    if regressed:
+        print(f"\nFAIL: at least one benchmark slowed by more than "
+              f"{args.threshold:g}x", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

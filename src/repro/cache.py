@@ -1,0 +1,114 @@
+"""A small LRU cache used by the equilibrium and game solvers.
+
+The solvers memoise pure computations (rate equilibria of immutable
+populations, CP-partition outcomes of fixed game instances), so cache hits
+are guaranteed to be bit-identical to recomputation.  ``functools.lru_cache``
+is unsuitable because the cached functions take numpy arrays and optional
+collaborator objects; this class keys on explicitly-constructed hashable
+tuples instead and exposes hit/miss counters for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+__all__ = ["LRUCache", "clear_all_caches", "all_cache_stats"]
+
+_MISSING = object()
+
+#: Every named LRUCache registers itself here so the whole solver-cache
+#: hierarchy can be cleared (or reported on) in one call.
+_REGISTRY: "dict[str, LRUCache]" = {}
+
+
+def clear_all_caches() -> None:
+    """Clear every registered solver cache (equilibria, caps, partitions)."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def all_cache_stats() -> dict:
+    """Hit/miss statistics of every registered solver cache, by name."""
+    return {name: cache.stats() for name, cache in _REGISTRY.items()}
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Not thread-safe; the solvers are single-threaded.  A ``maxsize`` of
+    ``None`` disables bounding (useful in tests), ``0`` disables caching
+    entirely (every lookup misses), which gives a one-line way to compare
+    cached and uncached runs.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 1024,
+                 name: Optional[str] = None) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0 or None, got {maxsize!r}")
+        self.maxsize = maxsize
+        self.name = name
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if name is not None:
+            _REGISTRY[name] = self
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Look up ``key``, refreshing its recency on a hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert ``key`` (evicting the least recently used entry if full)."""
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, compute) -> object:
+        """Return the cached value for ``key``, computing and storing a miss.
+
+        ``compute`` is a zero-argument callable invoked only on a miss; hit
+        and miss counters behave exactly as with :meth:`get` + :meth:`put`.
+        """
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Counters for reports: size, hits, misses and the hit rate."""
+        total = self.hits + self.misses
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

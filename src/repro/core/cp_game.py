@@ -27,6 +27,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import LRUCache
 from repro.errors import EquilibriumError, ModelValidationError
 from repro.core.strategy import ISPStrategy
 from repro.network.allocation import (
@@ -34,7 +35,12 @@ from repro.network.allocation import (
     MaxMinFairAllocation,
     RateAllocationMechanism,
 )
-from repro.network.equilibrium import RateEquilibrium, solve_rate_equilibrium
+from repro.network.equilibrium import (
+    RateEquilibrium,
+    cached_class_cap,
+    cached_subset_equilibrium,
+    mechanism_cache_key,
+)
 from repro.network.provider import Population
 
 __all__ = [
@@ -46,6 +52,13 @@ __all__ = [
 
 #: Relative tolerance used when comparing CP utilities across classes.
 _UTILITY_TOLERANCE = 1e-9
+
+#: Memoised second-stage outcomes.  The game is deterministic in its inputs,
+#: so sharing an outcome across identical (population, nu, strategy, solver
+#: configuration) queries is exact — the sweep and migration layers hit this
+#: constantly (e.g. the Public Option ISP's outcome is identical across every
+#: price grid point of Figure 7).
+_PARTITION_CACHE = LRUCache(maxsize=512, name="partition_outcomes")
 
 
 @dataclass(frozen=True)
@@ -228,8 +241,8 @@ class CPPartitionGame:
 
     def _class_equilibrium(self, indices: Sequence[int], class_nu: float
                            ) -> RateEquilibrium:
-        members = self.population.subset(indices)
-        return solve_rate_equilibrium(members, class_nu, self.mechanism)
+        return cached_subset_equilibrium(self.population, indices, class_nu,
+                                         self.mechanism)
 
     def _class_cap(self, indices: Sequence[int], class_nu: float) -> float:
         """Throughput level a joining CP would take as given (Assumption 3)."""
@@ -237,10 +250,14 @@ class CPPartitionGame:
             return 0.0
         if len(indices) == 0:
             return math.inf
-        equilibrium = self._class_equilibrium(indices, class_nu)
         if (self.throughput_estimator == "class_cap"
                 and isinstance(self.mechanism, CommonCapAllocation)):
-            return equilibrium.common_cap
+            # Cap-only fast path: the batched engine solves the class cap
+            # from array views of the parent population, without building a
+            # Population object for the candidate class.
+            return cached_class_cap(self.population, indices, class_nu,
+                                    self.mechanism)
+        equilibrium = self._class_equilibrium(indices, class_nu)
         if len(equilibrium.thetas) == 0:
             return math.inf
         return float(np.max(equilibrium.thetas))
@@ -347,6 +364,29 @@ class CPPartitionGame:
         )
 
     # ------------------------------------------------------------------ #
+    # Outcome memoisation
+    # ------------------------------------------------------------------ #
+    def _outcome_key(self, kind: str, extra: tuple) -> tuple:
+        """Cache key identifying this game instance and solver configuration.
+
+        Everything that can influence the computed outcome is included, so a
+        cache hit is exact: population (immutable), capacity, strategy,
+        mechanism (by value), estimator and tolerances, solution concept and
+        the solver's iteration limits / warm start.
+        """
+        return (self.population, self.nu, self.strategy.kappa,
+                self.strategy.price, mechanism_cache_key(self.mechanism),
+                self.throughput_estimator, self.switching_tolerance,
+                kind) + extra
+
+    @staticmethod
+    def _initial_key(initial_premium: Optional[Iterable[int]]
+                     ) -> Optional[tuple]:
+        if initial_premium is None:
+            return None
+        return tuple(sorted({int(i) for i in initial_premium}))
+
+    # ------------------------------------------------------------------ #
     # Competitive (throughput-taking) equilibrium — Definition 3
     # ------------------------------------------------------------------ #
     def competitive_equilibrium(self, max_iterations: int = 80,
@@ -362,9 +402,26 @@ class CPPartitionGame:
         most a numerically negligible set of CPs would still want to switch.
 
         ``initial_premium`` warm-starts the iteration from a known partition
-        (e.g. the equilibrium at a nearby capacity); the consumer-migration
-        solver uses this to make successive solves along its bisection cheap.
+        (e.g. the equilibrium at a nearby capacity).  The consumer-migration
+        solver no longer passes one — repeated solves are served by the
+        outcome cache below instead — but the parameter remains for callers
+        that want to select a specific equilibrium.
+
+        Outcomes are memoised in a shared LRU cache: the game is
+        deterministic, so identical queries (including the warm start, which
+        can select a different equilibrium) return the identical outcome.
         """
+        initial_key = self._initial_key(initial_premium)
+        key = self._outcome_key(
+            "competitive", (max_iterations, repair_budget, initial_key))
+        return _PARTITION_CACHE.get_or_compute(
+            key, lambda: self._competitive_equilibrium_uncached(
+                max_iterations, repair_budget, initial_key)
+        )  # type: ignore[return-value]
+
+    def _competitive_equilibrium_uncached(
+            self, max_iterations: int, repair_budget: Optional[int],
+            initial_premium: Optional[tuple]) -> PartitionOutcome:
         size = len(self.population)
         if size == 0 or self.nu == 0.0:
             return self._build_outcome(np.zeros(size, dtype=bool),
@@ -376,7 +433,7 @@ class CPPartitionGame:
 
         if initial_premium is not None:
             mask = np.zeros(size, dtype=bool)
-            mask[[int(i) for i in initial_premium]] = True
+            mask[list(initial_premium)] = True
             # CPs that cannot afford the price never belong to the premium
             # class; dropping them keeps the warm start consistent.
             mask &= self._revenues > self.strategy.price
@@ -513,8 +570,19 @@ class CPPartitionGame:
         strictly better off, ties breaking to the ordinary class.  The
         procedure stops when a full pass produces no move.  Intended for
         small populations (tests, illustrations); the competitive equilibrium
-        is the work-horse for the paper's 1000-CP experiments.
+        is the work-horse for the paper's 1000-CP experiments.  The per-class
+        equilibria of every candidate deviation run through the shared
+        equilibrium cache, and the outcome itself is memoised.
         """
+        initial_key = self._initial_key(initial_premium)
+        key = self._outcome_key("nash", (max_passes, initial_key))
+        return _PARTITION_CACHE.get_or_compute(
+            key, lambda: self._nash_equilibrium_uncached(max_passes, initial_key)
+        )  # type: ignore[return-value]
+
+    def _nash_equilibrium_uncached(self, max_passes: int,
+                                   initial_premium: Optional[tuple]
+                                   ) -> PartitionOutcome:
         size = len(self.population)
         mask = np.zeros(size, dtype=bool)
         if initial_premium is not None:

@@ -138,7 +138,14 @@ class DuopolyGame:
     def outcome(self, strategy: ISPStrategy,
                 opponent_strategy: ISPStrategy = PUBLIC_OPTION_STRATEGY
                 ) -> DuopolyOutcome:
-        """Migration equilibrium when the strategic ISP plays ``strategy``."""
+        """Migration equilibrium when the strategic ISP plays ``strategy``.
+
+        Every per-ISP second-stage solve inside the migration bisection runs
+        on the batched equilibrium engine's shared memoisation, so repeated
+        queries (within one sweep or across sweeps) reuse partition outcomes
+        — e.g. the Public Option opponent's surplus curve is solved once for
+        an entire price grid.
+        """
         isps = (
             IspConfig(STRATEGIC_ISP, strategy, self.strategic_capacity_share),
             IspConfig(PUBLIC_OPTION_ISP, opponent_strategy,

@@ -124,19 +124,18 @@ def isp_outcome_at_share(population: Population, total_nu: float, isp: IspConfig
 
 
 def _surplus_at_share(population: Population, total_nu: float, isp: IspConfig,
-                      share: float, mechanism, min_share: float,
-                      cache: Dict[tuple, PartitionOutcome],
-                      warm_starts: Optional[Dict[str, tuple]] = None) -> float:
-    key = (isp.name, round(max(share, min_share), 12))
-    if key not in cache:
-        warm = warm_starts.get(isp.name) if warm_starts is not None else None
-        outcome = isp_outcome_at_share(population, total_nu, isp, share,
-                                       mechanism, min_share,
-                                       initial_premium=warm)
-        cache[key] = outcome
-        if warm_starts is not None:
-            warm_starts[isp.name] = outcome.premium_indices
-    return cache[key].consumer_surplus
+                      share: float, mechanism, min_share: float) -> float:
+    """Consumer surplus at an ISP holding ``share`` of the consumers.
+
+    Relies on the batched equilibrium engine's shared memoisation: the
+    partition outcome at a given ``(population, nu_I, strategy, mechanism)``
+    is cached across *all* migration solves (this generalises the per-solve
+    dict cache the solver used to carry), so e.g. the Public Option ISP's
+    surplus curve is computed once for an entire price sweep.
+    """
+    outcome = isp_outcome_at_share(population, total_nu, isp, share,
+                                   mechanism, min_share)
+    return outcome.consumer_surplus
 
 
 def _build_split(population: Population, total_nu: float,
@@ -169,17 +168,14 @@ def _solve_duopoly(population: Population, total_nu: float,
                    min_share: float, tolerance: float,
                    max_iterations: int) -> MarketSplit:
     """Bisection on the first ISP's market share for the two-ISP case."""
-    cache: Dict[tuple, PartitionOutcome] = {}
-    warm_starts: Dict[str, tuple] = {}
     surplus_scale = 1.0
 
     def gap(share_first: float) -> float:
         nonlocal surplus_scale
         phi_first = _surplus_at_share(population, total_nu, first, share_first,
-                                      mechanism, min_share, cache, warm_starts)
+                                      mechanism, min_share)
         phi_second = _surplus_at_share(population, total_nu, second,
-                                       1.0 - share_first, mechanism, min_share,
-                                       cache, warm_starts)
+                                       1.0 - share_first, mechanism, min_share)
         surplus_scale = max(surplus_scale, abs(phi_first), abs(phi_second))
         return phi_first - phi_second
 
@@ -225,8 +221,6 @@ def _solve_multi(population: Population, total_nu: float,
     when the update overshoots, which makes the iteration robust to the
     small discontinuities of the surplus functions.
     """
-    cache: Dict[tuple, PartitionOutcome] = {}
-    warm_starts: Dict[str, tuple] = {}
     shares = {isp.name: isp.capacity_share for isp in isps}
     total = sum(shares.values())
     shares = {name: value / total for name, value in shares.items()}
@@ -236,8 +230,7 @@ def _solve_multi(population: Population, total_nu: float,
     for iterations in range(1, max_iterations + 1):
         surpluses = {
             isp.name: _surplus_at_share(population, total_nu, isp,
-                                        shares[isp.name], mechanism, min_share,
-                                        cache, warm_starts)
+                                        shares[isp.name], mechanism, min_share)
             for isp in isps
         }
         mean = sum(shares[name] * surpluses[name] for name in shares)

@@ -101,7 +101,13 @@ class MonopolyGame:
     # Second-stage outcomes
     # ------------------------------------------------------------------ #
     def outcome(self, strategy: ISPStrategy) -> MonopolyOutcome:
-        """Outcome (second-stage equilibrium) for one first-stage strategy."""
+        """Outcome (second-stage equilibrium) for one first-stage strategy.
+
+        Second-stage solves run on the batched equilibrium engine: partition
+        outcomes and per-class equilibria are memoised across strategies and
+        capacities, so grid searches (``price_sweep``, ``revenue_optimal``,
+        ``verify_kappa_dominance``) never re-solve a sub-problem.
+        """
         game = CPPartitionGame(self.population, self.nu, strategy, self.mechanism)
         if self.equilibrium_kind == "nash":
             partition = game.nash_equilibrium()

@@ -65,6 +65,22 @@ def _validate_inputs(population: Population, demands: Sequence[float],
 class RateAllocationMechanism(ABC):
     """Base class for rate-allocation mechanisms (Definition 1)."""
 
+    def cache_key(self) -> tuple:
+        """Hashable value identifying this mechanism's behaviour.
+
+        Used by the equilibrium cache (:mod:`repro.simulation.batch`) to key
+        solved equilibria.  Two mechanisms with equal cache keys must produce
+        identical allocations for every input.  The conservative default
+        keys on the instance itself (identity equality, and the key retains
+        the reference so a recycled ``id`` can never alias two mechanisms);
+        stateless or value-parameterised mechanisms override it so equal
+        configurations share cache entries.  The instance therefore must be
+        hashable — a subclass that defines ``__eq__`` without ``__hash__``
+        (e.g. a non-frozen dataclass) must override ``cache_key`` with a
+        hashable value key.
+        """
+        return (type(self).__qualname__, self)
+
     @abstractmethod
     def allocate(self, population: Population, demands: Sequence[float],
                  nu: float) -> np.ndarray:
@@ -114,6 +130,20 @@ class CommonCapAllocation(RateAllocationMechanism):
     def theta_at_cap(self, population: Population, cap: float) -> np.ndarray:
         """Throughput profile at scalar cap level ``cap >= 0``."""
 
+    def theta_at_caps(self, population: Population,
+                      caps: np.ndarray) -> np.ndarray:
+        """Throughput profiles at a *vector* of cap levels, shape ``(G, n)``.
+
+        The batched equilibrium engine bisects a whole grid of caps at once;
+        the default stacks scalar :meth:`theta_at_cap` calls, and the shipped
+        cap-parameterised mechanisms override it with one broadcast.
+        """
+        caps = np.asarray(caps, dtype=float)
+        if len(caps) == 0:
+            return np.empty((0, len(population)))
+        return np.stack([self.theta_at_cap(population, float(cap))
+                         for cap in caps])
+
     def cap_upper_bound(self, population: Population) -> float:
         """A cap value at which every provider reaches ``theta_hat``."""
         return float(np.max(population.theta_hats)) if len(population) else 0.0
@@ -161,6 +191,15 @@ class MaxMinFairAllocation(CommonCapAllocation):
     def theta_at_cap(self, population: Population, cap: float) -> np.ndarray:
         return np.minimum(population.theta_hats, cap)
 
+    def theta_at_caps(self, population: Population,
+                      caps: np.ndarray) -> np.ndarray:
+        caps = np.asarray(caps, dtype=float)
+        return np.minimum(population.theta_hats[np.newaxis, :],
+                          caps[:, np.newaxis])
+
+    def cache_key(self) -> tuple:
+        return ("MaxMinFairAllocation",)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "MaxMinFairAllocation()"
 
@@ -197,6 +236,16 @@ class WeightedFairAllocation(CommonCapAllocation):
         return np.minimum(population.theta_hats,
                           self._weight_vector(population) * cap)
 
+    def theta_at_caps(self, population: Population,
+                      caps: np.ndarray) -> np.ndarray:
+        caps = np.asarray(caps, dtype=float)
+        weighted = self._weight_vector(population)[np.newaxis, :] * caps[:, np.newaxis]
+        return np.minimum(population.theta_hats[np.newaxis, :], weighted)
+
+    def cache_key(self) -> tuple:
+        return ("WeightedFairAllocation",
+                tuple(sorted(self.weights.items())), self.default_weight)
+
     def cap_upper_bound(self, population: Population) -> float:
         if len(population) == 0:
             return 0.0
@@ -217,6 +266,18 @@ class ProportionalToDemandAllocation(CommonCapAllocation):
         theta_max = float(np.max(population.theta_hats))
         omega = min(1.0, cap / theta_max) if theta_max > 0 else 0.0
         return omega * population.theta_hats
+
+    def theta_at_caps(self, population: Population,
+                      caps: np.ndarray) -> np.ndarray:
+        caps = np.asarray(caps, dtype=float)
+        theta_max = float(np.max(population.theta_hats))
+        if theta_max <= 0.0:
+            return np.zeros((len(caps), len(population)))
+        omegas = np.minimum(1.0, caps / theta_max)
+        return omegas[:, np.newaxis] * population.theta_hats[np.newaxis, :]
+
+    def cache_key(self) -> tuple:
+        return ("ProportionalToDemandAllocation",)
 
 
 class AlphaFairAllocation(RateAllocationMechanism):
@@ -244,6 +305,11 @@ class AlphaFairAllocation(RateAllocationMechanism):
         self.alpha = float(alpha)
         self.per_user = bool(per_user)
         self._per_user_mechanism = MaxMinFairAllocation()
+
+    def cache_key(self) -> tuple:
+        # The static optimum is independent of alpha (see the class docstring),
+        # but keep it in the key so the identification stays conservative.
+        return ("AlphaFairAllocation", self.alpha, self.per_user)
 
     def allocate(self, population: Population, demands: Sequence[float],
                  nu: float) -> np.ndarray:
@@ -297,6 +363,10 @@ class StrictPriorityAllocation(RateAllocationMechanism):
 
     def __init__(self, priority_order: Optional[Sequence[str]] = None) -> None:
         self.priority_order = list(priority_order) if priority_order else None
+
+    def cache_key(self) -> tuple:
+        order = tuple(self.priority_order) if self.priority_order else None
+        return ("StrictPriorityAllocation", order)
 
     def _ordered_indices(self, population: Population) -> list[int]:
         if self.priority_order is None:

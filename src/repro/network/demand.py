@@ -22,8 +22,11 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import ModelValidationError
 
@@ -84,6 +87,70 @@ class DemandFunction(ABC):
         # Numerical noise protection: demand is a fraction of users.
         return min(1.0, max(0.0, value))
 
+    # -- vectorised evaluation --------------------------------------------
+    def evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        """Vectorised total evaluation: the array counterpart of ``__call__``.
+
+        Applies the same clamping as the scalar path (``theta <= 0`` maps to
+        the zero-throughput limit, ``theta >= theta_hat`` maps to ``1``) and
+        delegates the interior to the family's closed form
+        (:meth:`_evaluate_array`).  Accepts arrays of any shape.
+        """
+        thetas = np.asarray(thetas, dtype=float)
+        if np.isnan(thetas).any():
+            raise ModelValidationError("throughput must not be NaN")
+        result = np.empty(thetas.shape, dtype=float)
+        low = thetas <= 0.0
+        high = thetas >= self._theta_hat
+        result[low] = self.demand_at_zero()
+        result[high] = 1.0
+        interior = ~(low | high)
+        if np.any(interior):
+            values = np.asarray(self._evaluate_array(thetas[interior]), dtype=float)
+            result[interior] = np.clip(values, 0.0, 1.0)
+        return result
+
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        """Closed-form demand on a 1-D array of interior throughputs.
+
+        The fallback evaluates the scalar form pointwise; every shipped
+        family overrides this with a true vectorised expression.
+        """
+        return np.array([self.evaluate(float(theta)) for theta in thetas])
+
+    # -- batched multi-function evaluation ---------------------------------
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        """Precompute whatever :meth:`batch_evaluate_packed` needs.
+
+        Populations cache the packed form per demand family so that repeated
+        demand evaluations (the equilibrium solvers' hot loop) do not re-read
+        per-instance attributes.  The generic pack is just the instances.
+        """
+        return tuple(functions)
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        """Demands of ``k`` same-family functions at ``(..., k)`` throughputs.
+
+        ``thetas[..., j]`` is evaluated by the ``j``-th packed function; the
+        result has the same shape.  The generic implementation loops over
+        functions (vectorising only across the leading axes); families with
+        closed forms override it with a fully array-level kernel.
+        """
+        functions = packed  # type: ignore[assignment]
+        thetas = np.asarray(thetas, dtype=float)
+        out = np.empty(thetas.shape, dtype=float)
+        for j, function in enumerate(functions):  # type: ignore[arg-type]
+            out[..., j] = function.evaluate_array(thetas[..., j])
+        return out
+
+    @classmethod
+    def batch_evaluate(cls, functions: Sequence["DemandFunction"],
+                       thetas: np.ndarray) -> np.ndarray:
+        """Convenience wrapper: pack and evaluate in one call."""
+        return cls.batch_evaluate_packed(cls.pack_parameters(functions), thetas)
+
     def throughput_fraction(self, omega: float) -> float:
         """Demand expressed against ``omega = theta / theta_hat`` (Figure 2)."""
         return self(omega * self._theta_hat)
@@ -118,6 +185,31 @@ class ExponentialSensitivityDemand(DemandFunction):
         congestion = self._theta_hat / theta - 1.0
         return math.exp(-self.beta * congestion)
 
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        return np.exp(-self.beta * (self._theta_hat / thetas - 1.0))
+
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        theta_hats = np.array([f.theta_hat for f in functions], dtype=float)
+        betas = np.array([f.beta for f in functions], dtype=float)  # type: ignore[attr-defined]
+        return theta_hats, betas
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        theta_hats, betas = packed  # type: ignore[misc]
+        thetas = np.asarray(thetas, dtype=float)
+        clipped = np.minimum(thetas, theta_hats)
+        positive = clipped > 0.0
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            congestion = np.where(
+                positive, theta_hats / np.where(positive, clipped, 1.0) - 1.0, np.inf)
+            demands = np.exp(-betas * congestion)
+        # theta <= 0: demand limit is 1 for beta == 0 and 0 otherwise.
+        zero_limit = (betas == 0.0).astype(float)
+        demands = np.where(positive, demands, zero_limit)
+        demands = np.where(clipped >= theta_hats, 1.0, demands)
+        return np.clip(demands, 0.0, 1.0)
+
     def demand_at_zero(self) -> float:
         return 1.0 if self.beta == 0.0 else 0.0
 
@@ -140,6 +232,21 @@ class LinearDemand(DemandFunction):
     def evaluate(self, theta: float) -> float:
         return self.floor + (1.0 - self.floor) * (theta / self._theta_hat)
 
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        return self.floor + (1.0 - self.floor) * (thetas / self._theta_hat)
+
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        theta_hats = np.array([f.theta_hat for f in functions], dtype=float)
+        floors = np.array([f.floor for f in functions], dtype=float)  # type: ignore[attr-defined]
+        return theta_hats, floors
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        theta_hats, floors = packed  # type: ignore[misc]
+        clipped = np.clip(np.asarray(thetas, dtype=float), 0.0, theta_hats)
+        return floors + (1.0 - floors) * (clipped / theta_hats)
+
     def demand_at_zero(self) -> float:
         return self.floor
 
@@ -153,6 +260,17 @@ class UnitDemand(DemandFunction):
 
     def evaluate(self, theta: float) -> float:
         return 1.0
+
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        return np.ones_like(thetas)
+
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        return len(functions)
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(thetas, dtype=float))
 
     def demand_at_zero(self) -> float:
         return 1.0
@@ -195,6 +313,27 @@ class StepDemand(DemandFunction):
         ramp = (omega - lower) / self.width
         return self.floor + (1.0 - self.floor) * ramp
 
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        omegas = thetas / self._theta_hat
+        lower = self.threshold - self.width
+        ramp = np.clip((omegas - lower) / self.width, 0.0, 1.0)
+        return self.floor + (1.0 - self.floor) * ramp
+
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        theta_hats = np.array([f.theta_hat for f in functions], dtype=float)
+        thresholds = np.array([f.threshold for f in functions], dtype=float)  # type: ignore[attr-defined]
+        widths = np.array([f.width for f in functions], dtype=float)  # type: ignore[attr-defined]
+        floors = np.array([f.floor for f in functions], dtype=float)  # type: ignore[attr-defined]
+        return theta_hats, thresholds, widths, floors
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        theta_hats, thresholds, widths, floors = packed  # type: ignore[misc]
+        omegas = np.clip(np.asarray(thetas, dtype=float), 0.0, theta_hats) / theta_hats
+        ramp = np.clip((omegas - (thresholds - widths)) / widths, 0.0, 1.0)
+        return floors + (1.0 - floors) * ramp
+
     def demand_at_zero(self) -> float:
         return self.floor
 
@@ -227,6 +366,26 @@ class SigmoidDemand(DemandFunction):
     def evaluate(self, theta: float) -> float:
         return self._logistic(theta / self._theta_hat) / self._norm
 
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        omegas = thetas / self._theta_hat
+        logistic = 1.0 / (1.0 + np.exp(-self.steepness * (omegas - self.midpoint)))
+        return logistic / self._norm
+
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        theta_hats = np.array([f.theta_hat for f in functions], dtype=float)
+        midpoints = np.array([f.midpoint for f in functions], dtype=float)  # type: ignore[attr-defined]
+        steepness = np.array([f.steepness for f in functions], dtype=float)  # type: ignore[attr-defined]
+        norms = np.array([f._norm for f in functions], dtype=float)  # type: ignore[attr-defined]
+        return theta_hats, midpoints, steepness, norms
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        theta_hats, midpoints, steepness, norms = packed  # type: ignore[misc]
+        omegas = np.clip(np.asarray(thetas, dtype=float), 0.0, theta_hats) / theta_hats
+        logistic = 1.0 / (1.0 + np.exp(-steepness * (omegas - midpoints)))
+        return np.clip(logistic / norms, 0.0, 1.0)
+
     def demand_at_zero(self) -> float:
         return self._logistic(0.0) / self._norm
 
@@ -258,14 +417,30 @@ class PiecewiseLinearDemand(DemandFunction):
             if not 0.0 <= d0 <= 1.0 or not 0.0 <= d1 <= 1.0:
                 raise ModelValidationError("demand values must lie in [0, 1]")
         self.points = pts
+        self._omegas = [w for w, _ in pts]
+        self._demands = [d for _, d in pts]
+        self._omega_array = np.array(self._omegas, dtype=float)
+        self._demand_array = np.array(self._demands, dtype=float)
 
     def evaluate(self, theta: float) -> float:
         omega = theta / self._theta_hat
-        for (w0, d0), (w1, d1) in zip(self.points, self.points[1:]):
-            if omega <= w1:
-                frac = (omega - w0) / (w1 - w0)
-                return d0 + (d1 - d0) * frac
-        return 1.0
+        # Binary search for the segment containing omega (the breakpoints are
+        # strictly increasing), instead of a linear scan.
+        index = bisect_left(self._omegas, omega)
+        if index >= len(self._omegas):
+            return 1.0
+        if index == 0:
+            return self._demands[0]
+        if self._omegas[index] == omega:
+            return self._demands[index]
+        w0, d0 = self.points[index - 1]
+        w1, d1 = self.points[index]
+        frac = (omega - w0) / (w1 - w0)
+        return d0 + (d1 - d0) * frac
+
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        omegas = thetas / self._theta_hat
+        return np.interp(omegas, self._omega_array, self._demand_array)
 
     def demand_at_zero(self) -> float:
         return self.points[0][1]
@@ -290,6 +465,24 @@ class ConstantElasticityDemand(DemandFunction):
         if self.elasticity == 0.0:
             return 1.0
         return (theta / self._theta_hat) ** self.elasticity
+
+    def _evaluate_array(self, thetas: np.ndarray) -> np.ndarray:
+        if self.elasticity == 0.0:
+            return np.ones_like(thetas)
+        return (thetas / self._theta_hat) ** self.elasticity
+
+    @classmethod
+    def pack_parameters(cls, functions: Sequence["DemandFunction"]) -> object:
+        theta_hats = np.array([f.theta_hat for f in functions], dtype=float)
+        elasticities = np.array([f.elasticity for f in functions], dtype=float)  # type: ignore[attr-defined]
+        return theta_hats, elasticities
+
+    @classmethod
+    def batch_evaluate_packed(cls, packed: object, thetas: np.ndarray) -> np.ndarray:
+        theta_hats, elasticities = packed  # type: ignore[misc]
+        omegas = np.clip(np.asarray(thetas, dtype=float), 0.0, theta_hats) / theta_hats
+        # 0 ** 0 == 1 in numpy, which matches the elasticity == 0 limit.
+        return omegas ** elasticities
 
     def demand_at_zero(self) -> float:
         return 1.0 if self.elasticity == 0.0 else 0.0

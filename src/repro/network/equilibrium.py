@@ -12,7 +12,11 @@ Two solution paths are provided:
 * an exact path for :class:`~repro.network.allocation.CommonCapAllocation`
   mechanisms (including the paper's max-min fair mechanism): the equilibrium
   is characterised by a scalar throughput cap, found by bisection on the
-  work-conservation equation of Axiom 2;
+  work-conservation equation of Axiom 2.  The bisection kernel is
+  *vectorised over capacity targets*: it solves a whole vector of ``nu``
+  values at once (:func:`solve_common_caps`), and the scalar solver simply
+  calls it with a one-element grid, so the batched engine of
+  :mod:`repro.simulation.batch` and the scalar path agree bit-for-bit;
 * a generic damped fixed-point iteration for arbitrary mechanisms.
 """
 
@@ -24,6 +28,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cache import LRUCache, all_cache_stats
 from repro.errors import ModelValidationError
 from repro.network.allocation import (
     CommonCapAllocation,
@@ -33,9 +38,29 @@ from repro.network.allocation import (
 )
 from repro.network.provider import Population
 
-__all__ = ["RateEquilibrium", "solve_rate_equilibrium"]
+__all__ = [
+    "RateEquilibrium",
+    "solve_rate_equilibrium",
+    "solve_common_caps",
+    "CommonCapProfile",
+    "ExponentialMaxMinProfile",
+    "common_cap_profile",
+    "cached_subset_equilibrium",
+    "cached_class_cap",
+    "mechanism_cache_key",
+    "default_equilibrium_cache",
+    "frozen_equilibrium",
+    "equilibrium_cache_stats",
+    "clear_equilibrium_caches",
+]
 
 _BISECTION_ITERATIONS = 200
+#: Bracket-width stopping rule (relative to the cap upper bound).
+_CAP_WIDTH_TOLERANCE = 1e-14
+#: Carried-load residual stopping rule (relative to the target): the
+#: bisection exits as soon as the work-conservation equation is satisfied to
+#: this tolerance, instead of always burning the full iteration budget.
+_RESIDUAL_TOLERANCE = 1e-13
 
 
 @dataclass(frozen=True)
@@ -154,6 +179,194 @@ def _zero_capacity_equilibrium(population: Population,
                            common_cap=0.0)
 
 
+# --------------------------------------------------------------------------- #
+# Carried-load profiles and the vectorised multi-target bisection kernel
+# --------------------------------------------------------------------------- #
+class CommonCapProfile:
+    """Evaluates the work-conservation LHS at a *vector* of throughput caps.
+
+    For a cap-parameterised mechanism the equilibrium cap at per-capita
+    capacity ``nu`` solves ``carried(cap) = min(nu, unconstrained_load)``
+    where ``carried`` is continuous and non-decreasing (Assumption 1), so a
+    whole grid of ``nu`` targets can be bisected simultaneously with numpy.
+    Subclasses provide :meth:`carried`; :meth:`solve_caps` is the shared
+    kernel used by both the scalar and the batched equilibrium solvers.
+    """
+
+    #: Number of providers covered by the profile.
+    size: int = 0
+    #: Cap at which every provider reaches its unconstrained throughput.
+    upper: float = 0.0
+    #: ``sum_i alpha_i theta_hat_i`` for the covered providers.
+    unconstrained_load: float = 0.0
+
+    def carried(self, caps: np.ndarray) -> np.ndarray:
+        """Per-capita carried load at each cap in a 1-D vector."""
+        raise NotImplementedError
+
+    def solve_caps(self, nus: np.ndarray) -> np.ndarray:
+        """Equilibrium caps for a vector of per-capita capacities.
+
+        Returns one cap per entry of ``nus``: ``0.0`` for ``nu <= 0``,
+        ``+inf`` for uncongested capacities, and the bisected root of the
+        work-conservation equation otherwise.  All grid points share each
+        bisection iteration (one vectorised ``carried`` evaluation); a point
+        drops out early once its carried-load residual — not merely the
+        bracket width — falls below tolerance.
+        """
+        nus = np.asarray(nus, dtype=float)
+        caps = np.full(nus.shape, np.inf)
+        if self.size == 0:
+            return caps
+        targets = np.minimum(nus, self.unconstrained_load)
+        zero = nus <= 0.0
+        caps[zero] = 0.0
+        carried_at_upper = float(self.carried(np.array([self.upper]))[0])
+        uncongested = (~zero) & (
+            (nus >= self.unconstrained_load - 1e-15)
+            | (carried_at_upper <= targets + 1e-15))
+        active = np.nonzero(~zero & ~uncongested)[0]
+        if len(active) == 0:
+            return caps
+        count = len(active)
+        low = np.zeros(count)
+        high = np.full(count, self.upper)
+        target = targets[active]
+        residual_tol = _RESIDUAL_TOLERANCE * np.maximum(1.0, target)
+        width_tol = _CAP_WIDTH_TOLERANCE * max(1.0, self.upper)
+        result = np.empty(count)
+        done = np.zeros(count, dtype=bool)
+        for _ in range(_BISECTION_ITERATIONS):
+            open_indices = np.nonzero(~done)[0]
+            if len(open_indices) == 0:
+                break
+            mid = 0.5 * (low[open_indices] + high[open_indices])
+            value = self.carried(mid)
+            hit = np.abs(value - target[open_indices]) <= residual_tol[open_indices]
+            hit_indices = open_indices[hit]
+            result[hit_indices] = mid[hit]
+            done[hit_indices] = True
+            rest = open_indices[~hit]
+            mid_rest = mid[~hit]
+            below = value[~hit] < target[rest]
+            low[rest[below]] = mid_rest[below]
+            high[rest[~below]] = mid_rest[~below]
+            narrow = (high[rest] - low[rest]) <= width_tol
+            narrow_indices = rest[narrow]
+            result[narrow_indices] = high[narrow_indices]
+            done[narrow_indices] = True
+        result[~done] = high[~done]
+        caps[active] = result
+        return caps
+
+
+class GenericCapProfile(CommonCapProfile):
+    """Profile for any :class:`CommonCapAllocation` over a full population."""
+
+    def __init__(self, population: Population,
+                 mechanism: CommonCapAllocation) -> None:
+        self._population = population
+        self._mechanism = mechanism
+        self._alphas = population.alphas
+        self.size = len(population)
+        self.upper = mechanism.cap_upper_bound(population)
+        self.unconstrained_load = population.unconstrained_per_capita_load
+
+    def carried(self, caps: np.ndarray) -> np.ndarray:
+        caps = np.asarray(caps, dtype=float)
+        thetas = self._mechanism.theta_at_caps(self._population, caps)
+        demands = self._population.demands_at(thetas)
+        return np.sum(self._alphas * demands * thetas, axis=-1)
+
+
+class ExponentialMaxMinProfile(CommonCapProfile):
+    """Sorted-``theta_hat`` prefix structure for max-min + exponential demand.
+
+    Under max-min fairness a provider with ``theta_hat_i <= cap`` is served
+    at exactly ``theta_hat_i`` with demand exactly 1, so its contribution to
+    the carried load is the constant ``alpha_i theta_hat_i``.  Sorting by
+    ``theta_hat`` turns the saturated part of the work-conservation sum into
+    a prefix-sum lookup (``searchsorted`` + ``cumsum``); only the congested
+    tail needs the exponential demand of Equation (3).  One evaluation of
+    ``carried`` at a G-vector of caps is a single vectorised pass instead of
+    G full demand-profile recomputations.
+    """
+
+    def __init__(self, alphas: np.ndarray, theta_hats: np.ndarray,
+                 betas: np.ndarray) -> None:
+        order = np.argsort(theta_hats, kind="stable")
+        self._theta_hats = np.ascontiguousarray(theta_hats[order])
+        self._alphas = np.ascontiguousarray(alphas[order])
+        self._betas = np.ascontiguousarray(betas[order])
+        self._prefix = np.concatenate(
+            ([0.0], np.cumsum(self._alphas * self._theta_hats)))
+        self.size = len(self._theta_hats)
+        self.upper = float(self._theta_hats[-1]) if self.size else 0.0
+        self.unconstrained_load = float(self._prefix[-1])
+
+    def carried(self, caps: np.ndarray) -> np.ndarray:
+        caps = np.asarray(caps, dtype=float)
+        saturated_counts = np.searchsorted(self._theta_hats, caps, side="right")
+        saturated = self._prefix[saturated_counts]
+        positive = caps > 0.0
+        safe_caps = np.where(positive, caps, 1.0)
+        # Only columns that can be congested for at least one cap matter.
+        first_tail = int(saturated_counts.min()) if len(caps) else self.size
+        theta_tail = self._theta_hats[first_tail:]
+        with np.errstate(over="ignore", under="ignore"):
+            congestion = theta_tail[np.newaxis, :] / safe_caps[:, np.newaxis] - 1.0
+            contributions = (self._alphas[first_tail:]
+                             * np.exp(-self._betas[first_tail:] * congestion)
+                             * safe_caps[:, np.newaxis])
+        tail_mask = (np.arange(first_tail, self.size)[np.newaxis, :]
+                     >= saturated_counts[:, np.newaxis])
+        tail = np.where(tail_mask, contributions, 0.0).sum(axis=-1)
+        return np.where(positive, saturated + tail, 0.0)
+
+
+def common_cap_profile(population: Population,
+                       mechanism: CommonCapAllocation) -> CommonCapProfile:
+    """The fastest applicable carried-load profile for a population.
+
+    The max-min + all-exponential fast path (the paper's workload) is cached
+    on the population; everything else gets the generic profile.  The choice
+    is a function of (population, mechanism) only, so the scalar and batched
+    solvers always agree on the numerics.
+    """
+    if type(mechanism) is MaxMinFairAllocation:
+        cached = getattr(population, "_exp_maxmin_profile", None)
+        if cached is not None:
+            return cached
+        parameters = population.exponential_parameters
+        if parameters is not None:
+            profile = ExponentialMaxMinProfile(population.alphas, *parameters)
+            population._exp_maxmin_profile = profile  # type: ignore[attr-defined]
+            return profile
+    return GenericCapProfile(population, mechanism)
+
+
+def solve_common_caps(population: Population, nus: Sequence[float],
+                      mechanism: CommonCapAllocation
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Equilibria of a cap-parameterised mechanism at a vector of capacities.
+
+    Returns ``(caps, thetas, demands)`` with shapes ``(G,)``, ``(G, n)`` and
+    ``(G, n)``; ``caps`` is ``+inf`` at uncongested points and ``0`` where
+    ``nu <= 0``.  This is the exact Theorem-1 solution at every grid point,
+    computed with one shared vectorised bisection.
+    """
+    nus_arr = np.asarray(nus, dtype=float)
+    profile = common_cap_profile(population, mechanism)
+    caps = profile.solve_caps(nus_arr)
+    if len(population) == 0:
+        empty = np.zeros((len(nus_arr), 0))
+        return caps, empty, empty
+    evaluation_caps = np.where(np.isfinite(caps), caps, profile.upper)
+    thetas = mechanism.theta_at_caps(population, evaluation_caps)
+    demands = population.demands_at(thetas)
+    return caps, thetas, demands
+
+
 def _common_cap_equilibrium(population: Population, nu: float,
                             mechanism: CommonCapAllocation) -> RateEquilibrium:
     """Exact equilibrium for cap-parameterised mechanisms.
@@ -163,39 +376,13 @@ def _common_cap_equilibrium(population: Population, nu: float,
     ``sum_i alpha_i d_i(theta_i(cap)) theta_i(cap) = min(nu, sum_i alpha_i theta_hat_i)``.
     The left side is continuous and non-decreasing in the cap (demands are
     non-decreasing in throughput by Assumption 1), so bisection finds the
-    unique solution of Theorem 1.
+    unique solution of Theorem 1.  Delegates to the vectorised kernel with a
+    one-element grid, guaranteeing scalar/batch equivalence.
     """
-    alphas = population.alphas
-    theta_hats = population.theta_hats
-    unconstrained_load = float(np.sum(alphas * theta_hats))
-    target = min(nu, unconstrained_load)
-
-    def carried(cap: float) -> tuple[float, np.ndarray, np.ndarray]:
-        thetas = mechanism.theta_at_cap(population, cap)
-        demands = population.demands_at(thetas)
-        return float(np.sum(alphas * demands * thetas)), thetas, demands
-
-    upper = mechanism.cap_upper_bound(population)
-    carried_at_upper, thetas_up, demands_up = carried(upper)
-    if nu >= unconstrained_load - 1e-15 or carried_at_upper <= target + 1e-15:
-        return RateEquilibrium(population, nu, thetas_up, demands_up,
-                               mechanism_name=type(mechanism).__name__,
-                               common_cap=float("inf"))
-
-    low, high = 0.0, upper
-    for _ in range(_BISECTION_ITERATIONS):
-        mid = 0.5 * (low + high)
-        value, _, _ = carried(mid)
-        if value < target:
-            low = mid
-        else:
-            high = mid
-        if high - low <= 1e-14 * max(1.0, upper):
-            break
-    _, thetas, demands = carried(high)
-    return RateEquilibrium(population, nu, thetas, demands,
+    caps, thetas, demands = solve_common_caps(population, (nu,), mechanism)
+    return RateEquilibrium(population, nu, thetas[0], demands[0],
                            mechanism_name=type(mechanism).__name__,
-                           common_cap=high)
+                           common_cap=float(caps[0]))
 
 
 def solve_rate_equilibrium(population: Population, nu: float,
@@ -232,7 +419,160 @@ def solve_rate_equilibrium(population: Population, nu: float,
     if isinstance(mechanism, CommonCapAllocation):
         return _common_cap_equilibrium(population, nu, mechanism)
     thetas = fixed_point_allocation(mechanism, population, nu)
-    demands = np.array([cp.demand_at(theta)
-                        for cp, theta in zip(population, thetas)])
+    demands = population.demands_at(thetas)
     return RateEquilibrium(population, nu, thetas, demands,
                            mechanism_name=type(mechanism).__name__)
+
+
+# --------------------------------------------------------------------------- #
+# Equilibrium cache and service-class (subset) fast paths
+# --------------------------------------------------------------------------- #
+# Populations are immutable and mechanisms are keyed by value
+# (``RateAllocationMechanism.cache_key``), so a cached equilibrium can never
+# go stale: entries are only ever dropped by LRU eviction or an explicit
+# ``clear_equilibrium_caches()``.  The game layer (monopoly/duopoly/CP-game
+# best-response passes) re-solves the same (class, capacity) equilibria many
+# times over; these caches turn those re-solves into lookups.
+_DEFAULT_MECHANISM = MaxMinFairAllocation()
+_EQUILIBRIUM_CACHE = LRUCache(maxsize=2048, name="equilibria")
+_CLASS_CAP_CACHE = LRUCache(maxsize=16384, name="class_caps")
+
+
+def default_equilibrium_cache() -> LRUCache:
+    """The shared full/subset-equilibrium cache (for pre-seeding)."""
+    return _EQUILIBRIUM_CACHE
+
+
+def mechanism_cache_key(mechanism: Optional[RateAllocationMechanism]) -> tuple:
+    """Cache key of ``mechanism`` (``None`` means the default max-min)."""
+    if mechanism is None:
+        return _DEFAULT_MECHANISM.cache_key()
+    return mechanism.cache_key()
+
+
+def frozen_equilibrium(equilibrium: RateEquilibrium) -> RateEquilibrium:
+    """A copy of ``equilibrium`` whose arrays are detached and read-only.
+
+    Entries that enter a shared cache must not alias writable solver
+    buffers: batch solves hand out row *views* of the whole ``(G, n)``
+    grid matrices, so an aliased entry would both pin the grid's memory
+    and let any caller mutate what every later cache hit observes.
+    """
+    thetas = np.array(equilibrium.thetas)
+    demands = np.array(equilibrium.demands)
+    thetas.flags.writeable = False
+    demands.flags.writeable = False
+    return RateEquilibrium(
+        population=equilibrium.population, nu=equilibrium.nu,
+        thetas=thetas, demands=demands,
+        mechanism_name=equilibrium.mechanism_name,
+        common_cap=equilibrium.common_cap)
+
+
+def _indices_key(population: Population,
+                 indices: Optional[Sequence[int]]) -> Optional[tuple]:
+    """Normalised subset indices: ``None`` stands for the full population."""
+    if indices is None:
+        return None
+    normalized = tuple(sorted({int(i) for i in indices}))
+    if len(normalized) == len(population):
+        return None
+    return normalized
+
+
+def _subset_cache_key(population: Population,
+                      subset_key: Optional[tuple]) -> Optional[bytes]:
+    """Compact, exact cache representation of a class's index set.
+
+    A packed bitmask over the population: ~n/8 bytes instead of an n-int
+    tuple.  The CP-game best-response passes generate thousands of distinct
+    masks per sweep, so the key size — not the cached float — dominates the
+    class-cap cache's memory footprint.
+    """
+    if subset_key is None:
+        return None
+    mask = np.zeros(len(population), dtype=bool)
+    mask[list(subset_key)] = True
+    return np.packbits(mask).tobytes()
+
+
+def cached_subset_equilibrium(population: Population,
+                              indices: Optional[Sequence[int]],
+                              nu: float,
+                              mechanism: Optional[RateAllocationMechanism] = None,
+                              cache: Optional[LRUCache] = None
+                              ) -> RateEquilibrium:
+    """Memoised rate equilibrium of a sub-population selected by index.
+
+    ``indices=None`` (or the full index set) solves the whole population.
+    Results are bit-identical to ``solve_rate_equilibrium`` on
+    ``population.subset(indices)``; the cache key is
+    ``(population, sorted indices, nu, mechanism.cache_key())``.
+    """
+    cache = _EQUILIBRIUM_CACHE if cache is None else cache
+    subset_key = _indices_key(population, indices)
+    key = (population, _subset_cache_key(population, subset_key), float(nu),
+           mechanism_cache_key(mechanism))
+
+    def solve() -> RateEquilibrium:
+        members = (population if subset_key is None
+                   else population.subset(subset_key))
+        return frozen_equilibrium(solve_rate_equilibrium(
+            members, nu,
+            mechanism if mechanism is not None else _DEFAULT_MECHANISM))
+
+    return cache.get_or_compute(key, solve)  # type: ignore[return-value]
+
+
+def cached_class_cap(population: Population,
+                     indices: Optional[Sequence[int]],
+                     nu: float,
+                     mechanism: Optional[RateAllocationMechanism] = None,
+                     cache: Optional[LRUCache] = None) -> float:
+    """Equilibrium common throughput cap of a service class, memoised.
+
+    For the paper's workload (max-min fairness, exponential demand) the cap
+    is solved directly from array slices of the parent population — no
+    ``Population`` object is materialised for the class, which is what makes
+    the CP-game best-response inner loop cheap.  The value equals
+    ``cached_subset_equilibrium(...).common_cap`` exactly (both run the same
+    bisection kernel on the same floats).
+    """
+    mechanism = mechanism if mechanism is not None else _DEFAULT_MECHANISM
+    cache = _CLASS_CAP_CACHE if cache is None else cache
+    subset_key = _indices_key(population, indices)
+    key = (population, _subset_cache_key(population, subset_key), float(nu),
+           mechanism_cache_key(mechanism))
+
+    def solve() -> float:
+        parameters = population.exponential_parameters
+        if type(mechanism) is MaxMinFairAllocation and parameters is not None:
+            if subset_key is None:
+                profile = common_cap_profile(population, mechanism)
+            else:
+                theta_hats, betas = parameters
+                index_array = np.array(subset_key, dtype=np.intp)
+                profile = ExponentialMaxMinProfile(
+                    population.alphas[index_array], theta_hats[index_array],
+                    betas[index_array])
+            return float(profile.solve_caps(np.array([nu]))[0])
+        return float(cached_subset_equilibrium(population, subset_key, nu,
+                                               mechanism).common_cap)
+
+    return cache.get_or_compute(key, solve)  # type: ignore[return-value]
+
+
+def equilibrium_cache_stats() -> dict:
+    """Hit/miss counters of the two solver caches (for benchmark reports).
+
+    A filtered view of :func:`repro.cache.all_cache_stats` — both caches
+    self-register there under the names used here.
+    """
+    stats = all_cache_stats()
+    return {name: stats[name] for name in ("equilibria", "class_caps")}
+
+
+def clear_equilibrium_caches() -> None:
+    """Drop every cached equilibrium and class cap (frees the memory)."""
+    _EQUILIBRIUM_CACHE.clear()
+    _CLASS_CAP_CACHE.clear()

@@ -157,6 +157,21 @@ class Population(Sequence[ContentProvider]):
         names = [cp.name for cp in self._providers]
         if len(set(names)) != len(names):
             raise ModelValidationError("content provider names must be unique")
+        # Lazily-populated caches.  A Population is immutable, so the numpy
+        # parameter views and the hash can be computed once; the solvers'
+        # hot loops read them on every iteration.
+        self._array_cache: dict[str, np.ndarray] = {}
+        self._hash: Optional[int] = None
+        self._demand_groups_cache = None
+
+    def _cached_array(self, key: str, attribute: str) -> np.ndarray:
+        array = self._array_cache.get(key)
+        if array is None:
+            array = np.array([getattr(cp, attribute) for cp in self._providers],
+                             dtype=float)
+            array.flags.writeable = False
+            self._array_cache[key] = array
+        return array
 
     # -- Sequence protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -179,35 +194,39 @@ class Population(Sequence[ContentProvider]):
         return self._providers == other._providers
 
     def __hash__(self) -> int:
-        return hash(self._providers)
+        if self._hash is None:
+            self._hash = hash(self._providers)
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Population(n={len(self._providers)})"
 
     # -- vectorised accessors ----------------------------------------------
+    # The returned arrays are cached and marked read-only: callers that need
+    # to mutate them must take a copy (the solvers already do).
     @property
     def names(self) -> tuple[str, ...]:
         return tuple(cp.name for cp in self._providers)
 
     @property
     def alphas(self) -> np.ndarray:
-        return np.array([cp.alpha for cp in self._providers], dtype=float)
+        return self._cached_array("alphas", "alpha")
 
     @property
     def theta_hats(self) -> np.ndarray:
-        return np.array([cp.theta_hat for cp in self._providers], dtype=float)
+        return self._cached_array("theta_hats", "theta_hat")
 
     @property
     def betas(self) -> np.ndarray:
-        return np.array([cp.beta for cp in self._providers], dtype=float)
+        return self._cached_array("betas", "beta")
 
     @property
     def revenue_rates(self) -> np.ndarray:
-        return np.array([cp.revenue_rate for cp in self._providers], dtype=float)
+        return self._cached_array("revenue_rates", "revenue_rate")
 
     @property
     def utility_rates(self) -> np.ndarray:
-        return np.array([cp.utility_rate for cp in self._providers], dtype=float)
+        return self._cached_array("utility_rates", "utility_rate")
 
     @property
     def unconstrained_per_capita_load(self) -> float:
@@ -217,47 +236,80 @@ class Population(Sequence[ContentProvider]):
 
     # -- vectorised demand evaluation -----------------------------------------
     @property
-    def _all_exponential(self) -> bool:
-        """True when every provider uses the Equation-(3) exponential demand.
+    def _demand_groups(self) -> tuple:
+        """Providers grouped by demand family, with packed parameter arrays.
 
-        Cached on first access; enables a fully vectorised demand evaluation
-        which the equilibrium solvers rely on for large populations.
+        Each entry is ``(family_type, index_array, packed_parameters)``; the
+        packed form is whatever the family's
+        :meth:`~repro.network.demand.DemandFunction.pack_parameters` returns.
+        Cached on first access — the equilibrium solvers evaluate demands
+        thousands of times per solve.
         """
-        cached = getattr(self, "_all_exponential_cache", None)
-        if cached is None:
-            cached = all(isinstance(cp.demand, ExponentialSensitivityDemand)
-                         for cp in self._providers)
-            object.__setattr__(self, "_all_exponential_cache", cached)
-        return cached
+        if self._demand_groups_cache is None:
+            by_family: dict[type, list[int]] = {}
+            for index, cp in enumerate(self._providers):
+                by_family.setdefault(type(cp.demand), []).append(index)
+            built = []
+            for family, indices in by_family.items():
+                functions = [self._providers[i].demand for i in indices]
+                built.append((family, np.array(indices, dtype=np.intp),
+                              family.pack_parameters(functions)))
+            self._demand_groups_cache = tuple(built)
+        return self._demand_groups_cache
+
+    @property
+    def _all_exponential(self) -> bool:
+        """True when every provider uses the Equation-(3) exponential demand."""
+        groups = self._demand_groups
+        return (len(groups) == 0
+                or (len(groups) == 1
+                    and groups[0][0] is ExponentialSensitivityDemand))
+
+    @property
+    def exponential_parameters(self) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """``(theta_hats, betas)`` when the fast exponential path applies.
+
+        Returns ``None`` unless every provider carries an
+        :class:`~repro.network.demand.ExponentialSensitivityDemand` whose
+        ``theta_hat`` equals the provider's own (always true for the default
+        demand).  The equilibrium solvers use this to decide whether the
+        sorted-prefix carried-load profile is exact for this population.
+        """
+        if len(self._providers) == 0:
+            return self.theta_hats, self.betas
+        if not self._all_exponential:
+            return None
+        _, _, packed = self._demand_groups[0]
+        demand_theta_hats, betas = packed
+        if not np.array_equal(demand_theta_hats, self.theta_hats):
+            return None
+        return self.theta_hats, betas
 
     def demands_at(self, thetas: np.ndarray) -> np.ndarray:
-        """Vector of demand fractions ``d_i(theta_i)`` for a throughput profile.
+        """Demand fractions ``d_i(theta_i)`` for one or many throughput profiles.
 
-        Uses a closed-form vectorised expression when every provider carries
-        the exponential-sensitivity demand of Equation (3); otherwise falls
-        back to evaluating each provider's demand function individually.
+        ``thetas`` may be a single profile of shape ``(n,)`` or a stack of
+        profiles of shape ``(..., n)`` (the batched equilibrium engine passes
+        a ``(grid, n)`` matrix); the result has the same shape.  Evaluation
+        is vectorised per demand family via the closed-form batch kernels in
+        :mod:`repro.network.demand`.
         """
         thetas = np.asarray(thetas, dtype=float)
-        if thetas.shape != (len(self._providers),):
+        size = len(self._providers)
+        if thetas.ndim == 0 or thetas.shape[-1] != size:
             raise ModelValidationError(
                 f"throughput profile has shape {thetas.shape}, expected "
-                f"({len(self._providers)},)"
+                f"(..., {size})"
             )
-        if not self._all_exponential:
-            return np.array([cp.demand_at(theta)
-                             for cp, theta in zip(self._providers, thetas)])
-        theta_hats = self.theta_hats
-        betas = np.array([cp.demand.beta for cp in self._providers], dtype=float)  # type: ignore[union-attr]
-        clipped = np.minimum(thetas, theta_hats)
-        demands = np.empty(len(self._providers), dtype=float)
-        positive = clipped > 0.0
-        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
-            congestion = np.where(positive, theta_hats / np.where(positive, clipped, 1.0) - 1.0, np.inf)
-            demands = np.exp(-betas * congestion)
-        # theta <= 0: demand limit is 1 for beta == 0 and 0 otherwise.
-        demands[~positive] = np.where(betas[~positive] == 0.0, 1.0, 0.0)
-        demands[clipped >= theta_hats] = 1.0
-        return np.clip(demands, 0.0, 1.0)
+        groups = self._demand_groups
+        if len(groups) == 1:
+            family, _, packed = groups[0]
+            return family.batch_evaluate_packed(packed, thetas)
+        demands = np.empty(thetas.shape, dtype=float)
+        for family, indices, packed in groups:
+            demands[..., indices] = family.batch_evaluate_packed(
+                packed, thetas[..., indices])
+        return demands
 
     # -- sub-population helpers ---------------------------------------------
     def subset(self, indices: Iterable[int]) -> "Population":

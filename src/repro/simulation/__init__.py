@@ -1,5 +1,8 @@
 """Experiment harness: sweeps, result containers and figure reproductions.
 
+* :mod:`repro.simulation.batch` — the batched equilibrium engine: whole
+  capacity grids solved in one vectorised multi-target bisection, plus the
+  shared equilibrium/partition memoisation the game layer runs on;
 * :mod:`repro.simulation.results` — light containers for series and sweep
   results, with plain-text table rendering (no plotting dependency);
 * :mod:`repro.simulation.sweep` — price/capacity/strategy sweeps over the
@@ -10,6 +13,12 @@
   population seeds.
 """
 
+from repro.simulation.batch import (
+    BatchRateEquilibrium,
+    clear_equilibrium_caches,
+    solve_rate_equilibria,
+    warm_equilibrium_cache,
+)
 from repro.simulation.results import Series, SweepResult, ExperimentResult
 from repro.simulation.sweep import (
     duopoly_capacity_sweep,
@@ -21,6 +30,10 @@ from repro.simulation import experiments
 from repro.simulation.montecarlo import MonteCarloSummary, monte_carlo
 
 __all__ = [
+    "BatchRateEquilibrium",
+    "solve_rate_equilibria",
+    "warm_equilibrium_cache",
+    "clear_equilibrium_caches",
     "Series",
     "SweepResult",
     "ExperimentResult",

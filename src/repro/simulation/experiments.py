@@ -30,8 +30,8 @@ from repro.core.regulation import compare_regimes
 from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY, strategy_grid
 from repro.network.allocation import MaxMinFairAllocation
 from repro.network.demand import ExponentialSensitivityDemand, sample_demand_curve
-from repro.network.equilibrium import solve_rate_equilibrium
 from repro.network.provider import Population
+from repro.simulation.batch import solve_rate_equilibria
 from repro.simulation.results import ExperimentResult, Series, SweepResult
 from repro.simulation.sweep import (
     duopoly_capacity_sweep,
@@ -125,22 +125,19 @@ def figure3_maxmin_throughput(capacities: Optional[Sequence[float]] = None,
     throughput_panel = SweepResult(title="Per-user throughput theta_i vs capacity")
     demand_panel = SweepResult(title="Demand d_i vs capacity")
     rate_panel = SweepResult(title="Per capita rate alpha_i d_i theta_i vs capacity")
-    thetas = {name: [] for name in population.names}
-    demands = {name: [] for name in population.names}
-    rates = {name: [] for name in population.names}
-    for nu in nu_grid:
-        equilibrium = solve_rate_equilibrium(population, nu, mechanism)
-        for index, name in enumerate(population.names):
-            thetas[name].append(float(equilibrium.thetas[index]))
-            demands[name].append(float(equilibrium.demands[index]))
-            rates[name].append(float(equilibrium.per_capita_rates[index]))
+    # The whole capacity grid is one vectorised multi-target solve.
+    batch = solve_rate_equilibria(population, nu_grid, mechanism)
+    per_capita_rates = batch.per_capita_rates
     capacity_axis = tuple(float(c) for c in capacities)
-    for name in population.names:
-        throughput_panel.add(Series(name=name, x=capacity_axis, y=tuple(thetas[name]),
+    for index, name in enumerate(population.names):
+        throughput_panel.add(Series(name=name, x=capacity_axis,
+                                    y=tuple(batch.thetas[:, index]),
                                     x_label="capacity mu", y_label="theta"))
-        demand_panel.add(Series(name=name, x=capacity_axis, y=tuple(demands[name]),
+        demand_panel.add(Series(name=name, x=capacity_axis,
+                                y=tuple(batch.demands[:, index]),
                                 x_label="capacity mu", y_label="demand"))
-        rate_panel.add(Series(name=name, x=capacity_axis, y=tuple(rates[name]),
+        rate_panel.add(Series(name=name, x=capacity_axis,
+                              y=tuple(per_capita_rates[:, index]),
                               x_label="capacity mu", y_label="rate"))
     result = ExperimentResult(
         experiment_id="FIG3",

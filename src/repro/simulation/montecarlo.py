@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import ModelValidationError
 
 __all__ = ["MonteCarloSummary", "monte_carlo", "summarise_metrics"]
@@ -51,11 +53,15 @@ class MonteCarloSummary:
         values = self.samples.get(name)
         if not values:
             raise KeyError(name)
-        count = len(values)
-        mean = sum(values) / count
-        variance = sum((v - mean) ** 2 for v in values) / count if count > 1 else 0.0
-        return MetricSummary(name=name, mean=mean, std=math.sqrt(variance),
-                             minimum=min(values), maximum=max(values), count=count)
+        # One numpy pass over the sample vector instead of separate
+        # Python-level traversals for mean, variance and extremes.
+        array = np.asarray(values, dtype=float)
+        count = len(array)
+        mean = float(array.mean())
+        std = float(array.std()) if count > 1 else 0.0
+        return MetricSummary(name=name, mean=mean, std=std,
+                             minimum=float(array.min()),
+                             maximum=float(array.max()), count=count)
 
     def summaries(self) -> Dict[str, MetricSummary]:
         return {name: self.summary(name) for name in self.samples}

@@ -1,0 +1,397 @@
+"""Batch-vs-scalar equivalence and cache-correctness tests.
+
+The batched equilibrium engine promises that ``solve_rate_equilibria`` is
+*exactly* the scalar ``solve_rate_equilibrium`` applied per grid point (they
+share one bisection kernel), and that every cache layer is pure memoisation
+(cached results identical to cold recomputation).  These tests pin both
+claims across mechanisms, demand families and degenerate cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cache import clear_all_caches
+from repro.core.cp_game import CPPartitionGame
+from repro.core.duopoly import DuopolyGame
+from repro.core.strategy import ISPStrategy
+from repro.network.allocation import (
+    AlphaFairAllocation,
+    CommonCapAllocation,
+    MaxMinFairAllocation,
+    ProportionalToDemandAllocation,
+    WeightedFairAllocation,
+)
+from repro.network.demand import (
+    ConstantElasticityDemand,
+    ExponentialSensitivityDemand,
+    LinearDemand,
+    PiecewiseLinearDemand,
+    SigmoidDemand,
+    StepDemand,
+    UnitDemand,
+)
+from repro.network.equilibrium import (
+    cached_class_cap,
+    cached_subset_equilibrium,
+    solve_rate_equilibrium,
+)
+from repro.network.provider import ContentProvider, Population
+from repro.simulation.batch import (
+    solve_rate_equilibria,
+    warm_equilibrium_cache,
+)
+from repro.workloads.populations import PopulationSpec, random_population
+
+#: Equivalence tolerance required by the engine's contract.
+TOL = 1e-10
+
+
+def heterogeneous_population() -> Population:
+    """One provider per shipped demand family (the non-exponential path)."""
+    return Population([
+        ContentProvider("exp", alpha=0.8, theta_hat=1.0, beta=2.0,
+                        revenue_rate=0.5, utility_rate=1.0),
+        ContentProvider("linear", alpha=0.6, theta_hat=2.0, beta=0.0,
+                        revenue_rate=0.7, utility_rate=0.5,
+                        demand=LinearDemand(2.0, floor=0.2)),
+        ContentProvider("unit", alpha=0.3, theta_hat=0.5, beta=0.0,
+                        revenue_rate=0.9, utility_rate=2.0,
+                        demand=UnitDemand(0.5)),
+        ContentProvider("step", alpha=0.5, theta_hat=1.5, beta=0.0,
+                        revenue_rate=0.4, utility_rate=0.8,
+                        demand=StepDemand(1.5, threshold=0.6, width=0.1)),
+        ContentProvider("sigmoid", alpha=0.9, theta_hat=3.0, beta=0.0,
+                        revenue_rate=0.2, utility_rate=1.5,
+                        demand=SigmoidDemand(3.0, midpoint=0.4, steepness=8.0)),
+        ContentProvider("piecewise", alpha=0.4, theta_hat=1.2, beta=0.0,
+                        revenue_rate=0.6, utility_rate=0.3,
+                        demand=PiecewiseLinearDemand(
+                            1.2, [(0.0, 0.1), (0.3, 0.5), (0.7, 0.8),
+                                  (1.0, 1.0)])),
+        ContentProvider("elastic", alpha=0.7, theta_hat=0.8, beta=0.0,
+                        revenue_rate=0.3, utility_rate=0.9,
+                        demand=ConstantElasticityDemand(0.8, elasticity=1.5)),
+    ])
+
+
+def exponential_population() -> Population:
+    return random_population(PopulationSpec(count=60), seed=13)
+
+
+def grid_for(population: Population,
+             include_extremes: bool = True) -> tuple[float, ...]:
+    """A capacity grid spanning every regime, including degenerate points.
+
+    ``include_extremes=False`` drops the near-zero capacity: the generic
+    fixed-point path (non-cap mechanisms) legitimately fails to converge
+    there, in batch and scalar form alike.
+    """
+    load = population.unconstrained_per_capita_load
+    extremes = (0.0, 1e-9) if include_extremes else ()
+    return extremes + (0.05 * load, 0.3 * load, 0.8 * load,
+                       load, 1.5 * load, 10.0 * load)
+
+
+MECHANISMS = [
+    pytest.param(MaxMinFairAllocation(), id="maxmin"),
+    pytest.param(ProportionalToDemandAllocation(), id="prop-to-demand"),
+    pytest.param(WeightedFairAllocation({"cp-0001": 2.0, "linear": 3.0},
+                                        default_weight=1.0), id="weighted"),
+    pytest.param(AlphaFairAllocation(alpha=1.0), id="alpha-fair"),
+]
+
+POPULATIONS = [
+    pytest.param(exponential_population, id="exponential"),
+    pytest.param(heterogeneous_population, id="heterogeneous"),
+]
+
+
+def assert_equilibria_match(batch, population, mechanism) -> None:
+    for index in range(len(batch)):
+        nu = float(batch.nus[index])
+        scalar = solve_rate_equilibrium(population, nu, mechanism)
+        np.testing.assert_allclose(batch.thetas[index], scalar.thetas,
+                                   rtol=0.0, atol=TOL)
+        np.testing.assert_allclose(batch.demands[index], scalar.demands,
+                                   rtol=0.0, atol=TOL)
+        row = batch.equilibrium_at(index)
+        assert row.common_cap == scalar.common_cap or (
+            abs(row.common_cap - scalar.common_cap) <= TOL)
+        assert abs(row.aggregate_rate - scalar.aggregate_rate) <= TOL
+        assert abs(row.consumer_surplus() - scalar.consumer_surplus()) <= TOL
+
+
+class TestBatchMatchesScalar:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("make_population", POPULATIONS)
+    def test_dense_grid(self, make_population, mechanism):
+        population = make_population()
+        from repro.network.allocation import CommonCapAllocation
+        include_extremes = isinstance(mechanism, CommonCapAllocation)
+        batch = solve_rate_equilibria(
+            population, grid_for(population, include_extremes), mechanism)
+        assert_equilibria_match(batch, population, mechanism)
+
+    def test_default_mechanism_is_maxmin(self):
+        population = exponential_population()
+        batch = solve_rate_equilibria(population, (5.0,))
+        scalar = solve_rate_equilibrium(population, 5.0)
+        np.testing.assert_array_equal(batch.thetas[0], scalar.thetas)
+        assert batch.mechanism_name == "MaxMinFairAllocation"
+
+    def test_empty_population(self):
+        population = Population([])
+        batch = solve_rate_equilibria(population, (0.0, 1.0, 2.0))
+        assert batch.thetas.shape == (3, 0)
+        assert np.all(np.isinf(batch.common_caps))
+        scalar = solve_rate_equilibrium(population, 1.0)
+        assert scalar.common_cap == batch.equilibrium_at(1).common_cap
+
+    def test_zero_capacity_rows(self):
+        population = exponential_population()
+        batch = solve_rate_equilibria(population, (0.0,))
+        scalar = solve_rate_equilibrium(population, 0.0)
+        np.testing.assert_array_equal(batch.thetas[0], scalar.thetas)
+        np.testing.assert_array_equal(batch.demands[0], scalar.demands)
+        assert batch.equilibrium_at(0).common_cap == 0.0
+
+    def test_uncongested_rows_have_infinite_cap(self):
+        population = exponential_population()
+        nu = 2.0 * population.unconstrained_per_capita_load
+        batch = solve_rate_equilibria(population, (nu,))
+        assert np.isinf(batch.common_caps[0])
+        np.testing.assert_allclose(batch.thetas[0], population.theta_hats,
+                                   rtol=0.0, atol=TOL)
+
+    def test_accessor_shapes_and_consistency(self):
+        population = exponential_population()
+        nus = grid_for(population)
+        batch = solve_rate_equilibria(population, nus)
+        count = len(nus)
+        size = len(population)
+        assert batch.thetas.shape == (count, size)
+        assert batch.rhos.shape == (count, size)
+        assert batch.per_capita_rates.shape == (count, size)
+        assert batch.aggregate_rates.shape == (count,)
+        assert batch.consumer_surpluses().shape == (count,)
+        assert batch.utilizations.shape == (count,)
+        np.testing.assert_allclose(
+            batch.premium_revenues(0.3), 0.3 * batch.aggregate_rates)
+        for index, equilibrium in enumerate(batch):
+            assert equilibrium.nu == float(batch.nus[index])
+
+    def test_rejects_invalid_grid(self):
+        population = exponential_population()
+        from repro.errors import ModelValidationError
+        with pytest.raises(ModelValidationError):
+            solve_rate_equilibria(population, (-1.0,))
+        with pytest.raises(ModelValidationError):
+            solve_rate_equilibria(population, (float("nan"),))
+
+    @given(count=st.integers(min_value=1, max_value=10),
+           seed=st.integers(min_value=0, max_value=10_000),
+           fractions=st.lists(st.floats(min_value=0.0, max_value=3.0),
+                              min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_random_populations(self, count, seed, fractions):
+        population = random_population(PopulationSpec(count=count), seed=seed)
+        load = population.unconstrained_per_capita_load
+        nus = tuple(fraction * load for fraction in fractions)
+        batch = solve_rate_equilibria(population, nus)
+        assert_equilibria_match(batch, population, MaxMinFairAllocation())
+
+
+class TestEquilibriumCaches:
+    def setup_method(self):
+        clear_all_caches()
+
+    def test_cached_subset_matches_direct_solve(self):
+        population = exponential_population()
+        indices = tuple(range(0, len(population), 3))
+        nu = 0.2 * population.unconstrained_per_capita_load
+        cached = cached_subset_equilibrium(population, indices, nu)
+        direct = solve_rate_equilibrium(population.subset(indices), nu)
+        np.testing.assert_array_equal(cached.thetas, direct.thetas)
+        np.testing.assert_array_equal(cached.demands, direct.demands)
+        assert cached.common_cap == direct.common_cap
+        # Second call is a hit and returns the identical object.
+        assert cached_subset_equilibrium(population, indices, nu) is cached
+
+    def test_cached_class_cap_matches_equilibrium_cap(self):
+        for make_population in (exponential_population,
+                                heterogeneous_population):
+            population = make_population()
+            load = population.unconstrained_per_capita_load
+            indices = tuple(range(len(population)))[1:]
+            for nu in (0.1 * load, 0.5 * load, 2.0 * load):
+                cap = cached_class_cap(population, indices, nu)
+                equilibrium = solve_rate_equilibrium(
+                    population.subset(indices), nu)
+                assert cap == equilibrium.common_cap
+
+    def test_cached_class_cap_full_population_key(self):
+        population = exponential_population()
+        nu = 0.4 * population.unconstrained_per_capita_load
+        cap_by_indices = cached_class_cap(
+            population, tuple(range(len(population))), nu)
+        cap_full = cached_class_cap(population, None, nu)
+        assert cap_by_indices == cap_full
+        assert cap_full == solve_rate_equilibrium(population, nu).common_cap
+
+    def test_default_mechanism_cache_key_cannot_alias_instances(self):
+        """The default key must retain the instance, not a recyclable id().
+
+        Two distinct (identity-keyed) mechanism instances with different
+        behaviour must never share cached equilibria, even when one is
+        garbage-collected before the other is created.
+        """
+
+        class ScaledMaxMin(CommonCapAllocation):
+            def __init__(self, scale):
+                self.scale = scale
+
+            def allocate(self, population, demands, nu):  # pragma: no cover
+                raise NotImplementedError
+
+            def theta_at_cap(self, population, cap):
+                return np.minimum(population.theta_hats, self.scale * cap)
+
+        population = exponential_population()
+        nu = 0.3 * population.unconstrained_per_capita_load
+        mechanism = ScaledMaxMin(1.0)
+        key = mechanism.cache_key()
+        assert any(part is mechanism for part in key)
+        caps = []
+        for scale in (1.0, 0.5):
+            instance = ScaledMaxMin(scale)
+            caps.append(cached_subset_equilibrium(
+                population, None, nu, instance).common_cap)
+            del instance
+        assert caps[0] != caps[1]
+
+    def test_empty_capacity_grid(self):
+        population = exponential_population()
+        batch = solve_rate_equilibria(population, ())
+        assert len(batch) == 0
+        assert batch.thetas.shape == (0, len(population))
+
+        class PlainCap(CommonCapAllocation):
+            def allocate(self, population, demands, nu):  # pragma: no cover
+                raise NotImplementedError
+
+            def theta_at_cap(self, population, cap):
+                return np.minimum(population.theta_hats, cap)
+
+        # The generic (non-overridden) theta_at_caps path must also accept
+        # an empty grid.
+        batch = solve_rate_equilibria(population, (), PlainCap())
+        assert batch.thetas.shape == (0, len(population))
+
+    def test_warm_equilibrium_cache_seeds_exact_rows(self):
+        population = exponential_population()
+        load = population.unconstrained_per_capita_load
+        nus = (0.1 * load, 0.5 * load, 1.5 * load)
+        warm_equilibrium_cache(population, nus)
+        for nu in nus:
+            cached = cached_subset_equilibrium(population, None, nu)
+            direct = solve_rate_equilibrium(population, nu)
+            np.testing.assert_array_equal(cached.thetas, direct.thetas)
+            assert cached.common_cap == direct.common_cap
+
+    def test_warm_equilibrium_cache_survives_lru_eviction(self):
+        """A partially-cached grid larger than the cache must still assemble.
+
+        The seeding puts can evict rows the pre-scan found cached; the
+        returned batch must not depend on re-reading the cache.
+        """
+        from repro.cache import LRUCache
+        population = exponential_population()
+        load = population.unconstrained_per_capita_load
+        cache = LRUCache(maxsize=2)
+        nus = tuple(fraction * load for fraction in (0.1, 0.2, 0.3, 0.4, 0.5))
+        warm_equilibrium_cache(population, nus[:1], cache=cache)
+        batch = warm_equilibrium_cache(population, nus, cache=cache)
+        for index, nu in enumerate(nus):
+            direct = solve_rate_equilibrium(population, nu)
+            np.testing.assert_array_equal(batch.thetas[index], direct.thetas)
+            assert float(batch.common_caps[index]) == direct.common_cap
+
+    def test_warm_equilibrium_cache_skips_already_cached_rows(self):
+        from repro.network.equilibrium import default_equilibrium_cache
+        population = exponential_population()
+        load = population.unconstrained_per_capita_load
+        nus = (0.2 * load, 0.8 * load)
+        first = warm_equilibrium_cache(population, nus)
+        cache = default_equilibrium_cache()
+        misses_before = cache.misses
+        hits_before = cache.hits
+        # Re-warming a partially overlapping grid only solves the new point:
+        # the two already-warmed points hit, only 1.4*load misses.
+        second = warm_equilibrium_cache(population, nus + (1.4 * load,))
+        assert cache.misses == misses_before + 1
+        assert cache.hits == hits_before + 2
+        np.testing.assert_array_equal(first.thetas, second.thetas[:2])
+        np.testing.assert_array_equal(
+            second.thetas[2],
+            solve_rate_equilibrium(population, 1.4 * load).thetas)
+
+
+class TestCpGameCacheEquivalence:
+    def _outcome_fields(self, outcome):
+        return (outcome.ordinary_indices, outcome.premium_indices,
+                outcome.consumer_surplus, outcome.isp_surplus,
+                tuple(map(float, outcome.premium_equilibrium.thetas)),
+                tuple(map(float, outcome.ordinary_equilibrium.thetas)))
+
+    def test_competitive_outcome_cold_vs_warm_caches(self):
+        population = random_population(PopulationSpec(count=80), seed=3)
+        nu = 0.4 * population.unconstrained_per_capita_load
+        strategy = ISPStrategy(0.6, 0.35)
+
+        clear_all_caches()
+        cold = CPPartitionGame(population, nu, strategy).competitive_equilibrium()
+        cold_fields = self._outcome_fields(cold)
+
+        # Re-solve with caches fully populated by unrelated nearby queries.
+        for other_price in (0.1, 0.2, 0.5, 0.8):
+            CPPartitionGame(population, nu, ISPStrategy(0.6, other_price)
+                            ).competitive_equilibrium()
+        warm = CPPartitionGame(population, nu, strategy).competitive_equilibrium()
+        assert self._outcome_fields(warm) == cold_fields
+
+        clear_all_caches()
+        recomputed = CPPartitionGame(population, nu, strategy
+                                     ).competitive_equilibrium()
+        assert self._outcome_fields(recomputed) == cold_fields
+
+    def test_nash_outcome_cold_vs_warm_caches(self):
+        population = random_population(PopulationSpec(count=12), seed=5)
+        nu = 0.3 * population.unconstrained_per_capita_load
+        strategy = ISPStrategy(0.5, 0.4)
+        clear_all_caches()
+        cold = CPPartitionGame(population, nu, strategy).nash_equilibrium()
+        fields = self._outcome_fields(cold)
+        warm = CPPartitionGame(population, nu, strategy).nash_equilibrium()
+        assert warm is cold  # pure memoisation on identical queries
+        clear_all_caches()
+        recomputed = CPPartitionGame(population, nu, strategy).nash_equilibrium()
+        assert self._outcome_fields(recomputed) == fields
+
+    def test_duopoly_outcome_cold_vs_warm_caches(self):
+        population = random_population(PopulationSpec(count=50), seed=9)
+        nu = 0.5 * population.unconstrained_per_capita_load
+        game = DuopolyGame(population, nu, 0.5)
+        strategy = ISPStrategy(1.0, 0.3)
+        clear_all_caches()
+        cold = game.outcome(strategy)
+        clear_all_caches()
+        # Populate the caches with the whole price sweep, then re-ask.
+        game.price_sweep((0.1, 0.3, 0.6))
+        warm = game.outcome(strategy)
+        assert warm.market_share == cold.market_share
+        assert warm.consumer_surplus == cold.consumer_surplus
+        assert warm.isp_surplus == cold.isp_surplus

@@ -1,0 +1,131 @@
+"""Tests for the benchmark summary / regression-comparison tooling."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+
+
+def write_summary(path: pathlib.Path, timings: dict[str, float]) -> None:
+    payload = {
+        "schema": 1,
+        "benchmarks": {name: {"seconds": seconds}
+                       for name, seconds in timings.items()},
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def run_compare(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(SCRIPT), *args],
+                          capture_output=True, text=True)
+
+
+class TestBenchCompare:
+    def test_ok_when_no_regression(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 10.0, "bench_b": 2.0})
+        write_summary(current, {"bench_a": 9.0, "bench_b": 2.1})
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout or "improved" in result.stdout
+
+    def test_fails_on_injected_regression(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 10.0, "bench_b": 2.0})
+        # Synthetic regression: bench_b got 3x slower.
+        write_summary(current, {"bench_a": 10.0, "bench_b": 6.0})
+        result = run_compare(str(baseline), str(current), "--threshold", "1.25")
+        assert result.returncode != 0
+        assert "REGRESSION" in result.stdout
+
+    def test_threshold_is_respected(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 10.0})
+        write_summary(current, {"bench_a": 14.0})  # 1.4x
+        assert run_compare(str(baseline), str(current),
+                           "--threshold", "1.5").returncode == 0
+        assert run_compare(str(baseline), str(current),
+                           "--threshold", "1.3").returncode != 0
+
+    def test_tiny_benchmarks_are_ignored(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_fast": 0.001})
+        write_summary(current, {"bench_fast": 0.010})  # 10x but sub-threshold
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0
+
+    def test_disjoint_benchmarks_do_not_fail(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_old": 5.0, "bench_both": 1.0})
+        write_summary(current, {"bench_new": 5.0, "bench_both": 1.0})
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0
+        assert "baseline-only" in result.stdout
+        assert "new" in result.stdout
+
+    def test_accepts_flat_mapping_schema(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        baseline.write_text(json.dumps({"bench_a": 4.0}), encoding="utf-8")
+        current.write_text(json.dumps({"bench_a": 4.1}), encoding="utf-8")
+        assert run_compare(str(baseline), str(current)).returncode == 0
+
+    def test_unreadable_file_is_a_usage_error(self, tmp_path):
+        result = run_compare(str(tmp_path / "missing.json"),
+                             str(tmp_path / "missing2.json"))
+        assert result.returncode != 0
+
+
+class TestSummaryEmission:
+    def test_conftest_writes_summary(self, tmp_path, monkeypatch):
+        """The harness's sessionfinish hook writes the schema we compare."""
+        import importlib.util
+        conftest_path = (pathlib.Path(__file__).resolve().parent.parent
+                         / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location("bench_conftest",
+                                                      conftest_path)
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        monkeypatch.setattr(bench_conftest, "SUMMARY_PATH",
+                            tmp_path / "BENCH_summary.json")
+        monkeypatch.setattr(bench_conftest, "_BENCH_TIMINGS",
+                            {"bench_x": 1.25})
+        monkeypatch.setattr(bench_conftest, "_BENCH_CACHE_STATS",
+                            {"bench_x": {"equilibria": {"hits": 3}}})
+        bench_conftest.pytest_sessionfinish(session=None, exitstatus=0)
+        payload = json.loads((tmp_path / "BENCH_summary.json").read_text())
+        assert payload["schema"] == 1
+        assert payload["benchmarks"]["bench_x"]["seconds"] == 1.25
+        assert payload["benchmarks"]["bench_x"]["caches"] == {
+            "equilibria": {"hits": 3}}
+
+    def test_partial_run_merges_into_existing_summary(self, tmp_path,
+                                                      monkeypatch):
+        """A `-k`-filtered run must not drop the other benchmarks' timings."""
+        import importlib.util
+        conftest_path = (pathlib.Path(__file__).resolve().parent.parent
+                         / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location("bench_conftest_merge",
+                                                      conftest_path)
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        summary = tmp_path / "BENCH_summary.json"
+        write_summary(summary, {"bench_old": 9.0, "bench_x": 5.0})
+        monkeypatch.setattr(bench_conftest, "SUMMARY_PATH", summary)
+        monkeypatch.setattr(bench_conftest, "_BENCH_TIMINGS",
+                            {"bench_x": 1.25})
+        bench_conftest.pytest_sessionfinish(session=None, exitstatus=0)
+        payload = json.loads(summary.read_text())
+        assert payload["benchmarks"]["bench_x"]["seconds"] == 1.25
+        assert payload["benchmarks"]["bench_old"]["seconds"] == 9.0
