@@ -5,7 +5,8 @@ analytic claims) on the paper's 1000-CP workload, runs it exactly once via
 ``benchmark.pedantic`` (the experiments are deterministic, so repeated
 timing rounds would only waste time) and writes the full plain-text report
 — tables plus qualitative findings — to ``benchmarks/reports/<id>.txt`` so
-the results can be inspected and compared against EXPERIMENTS.md.
+the results can be inspected and diffed against the golden artifacts
+committed under ``tests/runner/golden/`` (see ARTIFACTS.md).
 
 After every run the harness also writes a machine-readable
 ``benchmarks/BENCH_summary.json`` with the wall time and solver-cache hit

@@ -4,13 +4,18 @@ Usage examples::
 
     repro-netneutrality list
     repro-netneutrality run FIG2
-    repro-netneutrality run FIG4 --count 500
+    repro-netneutrality run FIG4 --count 500 --seed 7
+    repro-netneutrality run THM4 --scale smoke --json
+    repro-netneutrality reproduce-all --scale smoke --workers 4
     repro-netneutrality regimes --nu 200
     repro-netneutrality population --count 1000
 
-``run`` executes one of the figure / theorem reproductions from
-:mod:`repro.simulation.experiments` and prints its plain-text report
-(tables plus qualitative findings).  Everything the CLI prints is also
+``run`` executes one of the figure / theorem reproductions registered in
+:mod:`repro.runner.registry` and prints its plain-text report (tables plus
+qualitative findings) or, with ``--json``, its canonical JSON artifact.
+``reproduce-all`` runs the whole suite through the sharded multi-process
+executor and writes one artifact per experiment plus a SHA-256 manifest
+(see ``ARTIFACTS.md`` for the layout).  Everything the CLI prints is also
 available programmatically through the library API.
 """
 
@@ -18,36 +23,31 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.regulation import compare_regimes
-from repro.simulation import experiments
+from repro.errors import ModelValidationError
+from repro.runner.artifacts import result_to_artifact_bytes
+from repro.runner.executor import reproduce_all
+from repro.runner.registry import (
+    EXPERIMENT_SPECS,
+    SCALES,
+    experiment_ids,
+    get_spec,
+)
 from repro.simulation.results import ExperimentResult
 from repro.workloads.populations import paper_population
 
 __all__ = ["main", "build_parser", "EXPERIMENT_REGISTRY"]
 
-#: Maps experiment ids (as used in DESIGN.md / EXPERIMENTS.md) to functions.
+#: Maps experiment ids to their reproduction functions.  Kept for backwards
+#: compatibility; the :mod:`repro.runner.registry` specs are the canonical
+#: source (they add scale presets, parameter awareness and expected
+#: findings on top of the bare callables).
 EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
-    "FIG2": experiments.figure2_demand_curves,
-    "FIG3": experiments.figure3_maxmin_throughput,
-    "FIG4": experiments.figure4_monopoly_price,
-    "FIG5": experiments.figure5_monopoly_capacity,
-    "FIG7": experiments.figure7_duopoly_price,
-    "FIG8": experiments.figure8_duopoly_capacity,
-    "FIG9": experiments.figure9_appendix_monopoly_price,
-    "FIG10": experiments.figure10_appendix_monopoly_capacity,
-    "FIG11": experiments.figure11_appendix_duopoly_price,
-    "FIG12": experiments.figure12_appendix_duopoly_capacity,
-    "THM4": experiments.theorem4_kappa_dominance,
-    "THM5": experiments.theorem5_public_option_alignment,
-    "LEM4": experiments.lemma4_proportional_shares,
-    "THM6": experiments.theorem6_alignment,
-    "REG": experiments.regulation_regimes,
+    spec.experiment_id: spec.function for spec in EXPERIMENT_SPECS
 }
-
-#: Experiments that accept a ``count`` keyword (the CP population size).
-_COUNT_AWARE = {key for key in EXPERIMENT_REGISTRY if key not in ("FIG2", "FIG3")}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,12 +61,46 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiment ids")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENT_REGISTRY),
-                            help="experiment id (see DESIGN.md)")
+    run_parser.add_argument("experiment", choices=sorted(experiment_ids()),
+                            help="experiment id (see `list`)")
+    run_parser.add_argument("--scale", default="default", choices=SCALES,
+                            help="parameter preset (default: the paper's "
+                                 "1000-CP workload)")
     run_parser.add_argument("--count", type=int, default=None,
                             help="number of content providers (default: paper's 1000)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="population seed (default: the library's "
+                                 "fixed reproduction seed)")
     run_parser.add_argument("--max-rows", type=int, default=12,
                             help="maximum table rows per panel in the report")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the canonical JSON artifact instead "
+                                 "of the plain-text report")
+
+    all_parser = subparsers.add_parser(
+        "reproduce-all",
+        help="run the whole suite and write JSON artifacts + manifest")
+    all_parser.add_argument("--scale", default="smoke", choices=SCALES,
+                            help="parameter preset for every experiment "
+                                 "(default: smoke)")
+    all_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (default: 1)")
+    all_parser.add_argument("--shards", type=int, default=None,
+                            help="round-robin shards (default: one per worker)")
+    all_parser.add_argument("--output", type=Path, default=Path("artifacts"),
+                            help="output directory (default: artifacts/)")
+    all_parser.add_argument("--only", action="append", metavar="ID",
+                            default=None,
+                            help="run only this experiment id (repeatable)")
+    all_parser.add_argument("--count", type=int, default=None,
+                            help="override the CP count of count-aware "
+                                 "experiments")
+    all_parser.add_argument("--seed", type=int, default=None,
+                            help="override the population seed of seed-aware "
+                                 "experiments")
+    all_parser.add_argument("--strict-findings", action="store_true",
+                            help="exit non-zero when an expected finding "
+                                 "does not hold")
 
     regimes_parser = subparsers.add_parser(
         "regimes", help="compare regulatory regimes at one capacity")
@@ -83,14 +117,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(experiment_id: str, count: Optional[int],
-                    max_rows: int) -> str:
-    function = EXPERIMENT_REGISTRY[experiment_id]
-    kwargs = {}
-    if count is not None and experiment_id in _COUNT_AWARE:
-        kwargs["count"] = count
-    result = function(**kwargs)
-    return result.report(max_rows=max_rows)
+def _warn_ignored(experiment_id: str, ignored: Sequence[str]) -> None:
+    for name in ignored:
+        print(f"warning: {experiment_id} does not take --{name}; "
+              "the flag is ignored", file=sys.stderr)
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    spec = get_spec(args.experiment)
+    _warn_ignored(spec.experiment_id,
+                  spec.ignored_overrides(count=args.count, seed=args.seed))
+    result = spec.run(scale=args.scale,
+                      count=args.count if spec.count_aware else None,
+                      seed=args.seed if spec.seed_aware else None)
+    if args.json:
+        return result_to_artifact_bytes(result).decode("ascii").rstrip("\n")
+    return result.report(max_rows=args.max_rows)
+
+
+def _reproduce_all(args: argparse.Namespace) -> int:
+    ids = args.only if args.only else None
+    if ids is not None:
+        for experiment_id in ids:
+            get_spec(experiment_id)  # fail fast on unknown ids
+    for experiment_id in (ids if ids is not None else experiment_ids()):
+        _warn_ignored(experiment_id,
+                      get_spec(experiment_id).ignored_overrides(
+                          count=args.count, seed=args.seed))
+    summary = reproduce_all(ids=ids, scale=args.scale, workers=args.workers,
+                            shards=args.shards, output_dir=args.output,
+                            count=args.count, seed=args.seed)
+    print(f"reproduced {len(summary.experiment_ids)} experiments at scale "
+          f"'{summary.scale}' with {summary.workers} worker(s) in "
+          f"{summary.elapsed_seconds:.1f}s")
+    print(f"artifacts: {summary.output_dir}")
+    print(f"manifest:  {summary.manifest_path} "
+          f"(sha256 {summary.manifest_sha256})")
+    if summary.failed_findings:
+        for experiment_id, names in sorted(summary.failed_findings.items()):
+            print(f"warning: {experiment_id} failed expected findings: "
+                  f"{', '.join(names)}", file=sys.stderr)
+        if args.strict_findings:
+            return 3
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -100,31 +169,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
-    if args.command == "list":
-        for experiment_id in sorted(EXPERIMENT_REGISTRY):
-            function = EXPERIMENT_REGISTRY[experiment_id]
-            summary = (function.__doc__ or "").strip().splitlines()[0]
-            print(f"{experiment_id:<8} {summary}")
-        return 0
-    if args.command == "run":
-        print(_run_experiment(args.experiment, args.count, args.max_rows))
-        return 0
-    if args.command == "regimes":
-        population = paper_population(count=args.count)
-        comparison = compare_regimes(population, args.nu)
-        print(comparison.summary_table())
-        print()
-        ordering = "holds" if comparison.paper_ordering_holds() else "does NOT hold"
-        print(f"Paper's monopoly-side ordering (public option >= neutral >= "
-              f"unregulated) {ordering} at nu={args.nu:g}.")
-        return 0
-    if args.command == "population":
-        population = paper_population(count=args.count,
-                                      utility_model=args.utility_model)
-        for key, value in population.describe().items():
-            print(f"{key:>32}: {value:.4f}" if isinstance(value, float)
-                  else f"{key:>32}: {value}")
-        return 0
+    try:
+        if args.command == "list":
+            for spec in EXPERIMENT_SPECS:
+                print(f"{spec.experiment_id:<8} {spec.summary}")
+            return 0
+        if args.command == "run":
+            print(_run_experiment(args))
+            return 0
+        if args.command == "reproduce-all":
+            return _reproduce_all(args)
+        if args.command == "regimes":
+            population = paper_population(count=args.count)
+            comparison = compare_regimes(population, args.nu)
+            print(comparison.summary_table())
+            print()
+            ordering = "holds" if comparison.paper_ordering_holds() else "does NOT hold"
+            print(f"Paper's monopoly-side ordering (public option >= neutral >= "
+                  f"unregulated) {ordering} at nu={args.nu:g}.")
+            return 0
+        if args.command == "population":
+            population = paper_population(count=args.count,
+                                          utility_model=args.utility_model)
+            for key, value in population.describe().items():
+                print(f"{key:>32}: {value:.4f}" if isinstance(value, float)
+                      else f"{key:>32}: {value}")
+            return 0
+    except ModelValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,61 @@
+"""Parallel reproduce-all pipeline.
+
+This package turns the paper's 15 reproductions into a declarative,
+regression-tested suite:
+
+* :mod:`repro.runner.registry` — the :class:`ExperimentSpec` registry
+  (experiment ids, callables, tunable parameters, expected findings and
+  ``smoke`` / ``default`` / ``paper`` scale presets); the single source of
+  truth for the CLI, the executor and the golden tests.
+* :mod:`repro.runner.executor` — the sharded multi-process runner behind
+  ``repro-netneutrality reproduce-all`` (byte-identical output for any
+  worker count and shard order).
+* :mod:`repro.runner.artifacts` — canonical JSON artifact emission and the
+  SHA-256 run manifest.
+* :mod:`repro.runner.compare` — tolerance-aware artifact diffing used by
+  the golden-regression tests and CI.
+
+See ``ARTIFACTS.md`` for the artifact layout and schema.
+"""
+
+from repro.runner.artifacts import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    canonical_json_bytes,
+    load_artifact,
+    load_artifact_payload,
+    load_manifest,
+    result_to_artifact_bytes,
+    sha256_bytes,
+)
+from repro.runner.compare import FLOAT_TOLERANCE, diff_payloads, floats_close
+from repro.runner.executor import RunSummary, reproduce_all, shard_experiments
+from repro.runner.registry import (
+    EXPERIMENT_SPECS,
+    SCALES,
+    ExperimentSpec,
+    experiment_ids,
+    get_spec,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "build_manifest",
+    "canonical_json_bytes",
+    "load_artifact",
+    "load_artifact_payload",
+    "load_manifest",
+    "result_to_artifact_bytes",
+    "sha256_bytes",
+    "FLOAT_TOLERANCE",
+    "diff_payloads",
+    "floats_close",
+    "RunSummary",
+    "reproduce_all",
+    "shard_experiments",
+    "EXPERIMENT_SPECS",
+    "SCALES",
+    "ExperimentSpec",
+    "experiment_ids",
+    "get_spec",
+]

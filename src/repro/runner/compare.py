@@ -1,0 +1,91 @@
+"""Tolerance-aware diffing of experiment artifacts.
+
+The golden-regression tests (and CI) compare regenerated artifacts against
+the committed goldens with per-field tolerances: structure, strings,
+booleans, integers — and therefore findings like partition orderings or
+"does the claim hold" flags — must match exactly, while float values
+(surplus series, discontinuity magnitudes) may drift by up to an absolute
+*or* relative ``1e-9``, absorbing benign refactors of the solver's
+floating-point evaluation order.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from typing import Any, List
+
+__all__ = ["FLOAT_TOLERANCE", "diff_payloads", "floats_close"]
+
+#: Default tolerance (absolute and relative) for float comparisons.
+FLOAT_TOLERANCE = 1e-9
+
+
+def floats_close(expected: float, actual: float,
+                 tolerance: float = FLOAT_TOLERANCE) -> bool:
+    """True when two floats agree within ``tolerance`` (abs or rel).
+
+    Non-finite values must match exactly (``nan`` equals ``nan`` here:
+    artifacts encode it deliberately, so a regenerated ``nan`` is
+    agreement, not an error).
+    """
+    if math.isnan(expected) or math.isnan(actual):
+        return math.isnan(expected) and math.isnan(actual)
+    if math.isinf(expected) or math.isinf(actual):
+        return expected == actual
+    if expected == actual:
+        return True
+    return abs(expected - actual) <= tolerance * max(
+        1.0, abs(expected), abs(actual))
+
+
+def _is_float(value: Any) -> bool:
+    return (isinstance(value, numbers.Real)
+            and not isinstance(value, (bool, numbers.Integral)))
+
+
+def diff_payloads(expected: Any, actual: Any,
+                  tolerance: float = FLOAT_TOLERANCE,
+                  path: str = "$") -> List[str]:
+    """Human-readable differences between two decoded artifact payloads.
+
+    Returns an empty list when the payloads agree (under the tolerance
+    rules above); otherwise one line per difference, each prefixed with a
+    JSONPath-ish location.  Comparing an ``int`` against a ``float`` (or a
+    ``bool`` against either) is a type mismatch, not a numeric comparison.
+    """
+    if _is_float(expected) and _is_float(actual):
+        if not floats_close(float(expected), float(actual), tolerance):
+            return [f"{path}: {expected!r} != {actual!r} "
+                    f"(tolerance {tolerance:g})"]
+        return []
+    if type(expected) is not type(actual):
+        return [f"{path}: type mismatch {type(expected).__name__} "
+                f"!= {type(actual).__name__} "
+                f"({expected!r} vs {actual!r})"]
+    if isinstance(expected, dict):
+        differences = []
+        for key in sorted(set(expected) | set(actual), key=repr):
+            key_path = f"{path}.{key}"
+            if key not in expected:
+                differences.append(f"{key_path}: unexpected key "
+                                   f"(value {actual[key]!r})")
+            elif key not in actual:
+                differences.append(f"{key_path}: missing key "
+                                   f"(expected {expected[key]!r})")
+            else:
+                differences.extend(diff_payloads(expected[key], actual[key],
+                                                 tolerance, key_path))
+        return differences
+    if isinstance(expected, list):
+        differences = []
+        if len(expected) != len(actual):
+            differences.append(f"{path}: length {len(expected)} "
+                               f"!= {len(actual)}")
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            differences.extend(diff_payloads(left, right, tolerance,
+                                             f"{path}[{index}]"))
+        return differences
+    if expected != actual:
+        return [f"{path}: {expected!r} != {actual!r}"]
+    return []

@@ -5,11 +5,16 @@ paper (the paper's evaluation has no numbered tables); the ``theorem*`` /
 ``lemma*`` functions check the analytic claims numerically.  All functions
 return an :class:`~repro.simulation.results.ExperimentResult` whose panels
 hold the plotted series and whose ``findings`` record the qualitative
-"shape" checks that EXPERIMENTS.md tracks against the paper.
+"shape" checks that the experiment registry
+(:mod:`repro.runner.registry`) declares and the golden-artifact
+regression tests pin (see ``ARTIFACTS.md``).
 
 The default parameters use the paper's workload (1000 random CPs, seeded)
 but moderately sized grids so the full benchmark suite completes in
-minutes; every grid can be widened through the function arguments.
+minutes; every grid can be widened through the function arguments, and the
+random workload's size and seed are tunable via ``count`` / ``seed`` on
+every experiment that draws one (``FIG2`` and ``FIG3`` are analytic and
+take neither).
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ from repro.simulation.sweep import (
     monopoly_price_sweep,
 )
 from repro.workloads.archetypes import archetype_population
-from repro.workloads.populations import paper_population
+from repro.workloads.populations import DEFAULT_SEED, paper_population
 
 __all__ = [
     "figure2_demand_curves",
@@ -68,10 +73,11 @@ _DEFAULT_STRATEGY_PRICES = (0.2, 0.5, 0.8)
 
 
 def _population(population: Optional[Population], utility_model: str,
-                count: int) -> Population:
+                count: int, seed: int) -> Population:
     if population is not None:
         return population
-    return paper_population(count=count, utility_model=utility_model)
+    return paper_population(count=count, utility_model=utility_model,
+                            seed=seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -173,8 +179,9 @@ def figure3_maxmin_throughput(capacities: Optional[Sequence[float]] = None,
 def _monopoly_price_experiment(experiment_id: str, utility_model: str,
                                population: Optional[Population],
                                nus: Sequence[float], prices: Sequence[float],
-                               kappa: float, count: int) -> ExperimentResult:
-    population = _population(population, utility_model, count)
+                               kappa: float, count: int,
+                               seed: int) -> ExperimentResult:
+    population = _population(population, utility_model, count, seed)
     psi_panel, phi_panel = monopoly_price_sweep(population, nus, prices, kappa)
     result = ExperimentResult(
         experiment_id=experiment_id,
@@ -183,7 +190,7 @@ def _monopoly_price_experiment(experiment_id: str, utility_model: str,
         parameters={"nus": tuple(float(n) for n in nus),
                     "prices": (float(prices[0]), float(prices[-1]), len(prices)),
                     "kappa": kappa, "utility_model": utility_model,
-                    "providers": len(population)},
+                    "providers": len(population), "seed": seed},
     )
     result.add_panel(psi_panel)
     result.add_panel(phi_panel)
@@ -214,21 +221,21 @@ def _monopoly_price_experiment(experiment_id: str, utility_model: str,
 def figure4_monopoly_price(population: Optional[Population] = None,
                            nus: Sequence[float] = _DEFAULT_NUS_PRICE_SWEEP,
                            prices: Sequence[float] = _DEFAULT_PRICES,
-                           kappa: float = 1.0, count: int = 1000
-                           ) -> ExperimentResult:
+                           kappa: float = 1.0, count: int = 1000,
+                           seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 4: ``Psi`` and ``Phi`` vs price under ``kappa = 1``."""
     return _monopoly_price_experiment("FIG4", "beta_correlated", population,
-                                      nus, prices, kappa, count)
+                                      nus, prices, kappa, count, seed)
 
 
 def figure9_appendix_monopoly_price(population: Optional[Population] = None,
                                     nus: Sequence[float] = _DEFAULT_NUS_PRICE_SWEEP,
                                     prices: Sequence[float] = _DEFAULT_PRICES,
-                                    kappa: float = 1.0, count: int = 1000
-                                    ) -> ExperimentResult:
+                                    kappa: float = 1.0, count: int = 1000,
+                                    seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 9 (appendix): Figure 4 with ``phi`` independent of ``beta``."""
     return _monopoly_price_experiment("FIG9", "independent", population,
-                                      nus, prices, kappa, count)
+                                      nus, prices, kappa, count, seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -239,8 +246,8 @@ def _monopoly_capacity_experiment(experiment_id: str, utility_model: str,
                                   kappas: Sequence[float],
                                   prices: Sequence[float],
                                   nus: Sequence[float],
-                                  count: int) -> ExperimentResult:
-    population = _population(population, utility_model, count)
+                                  count: int, seed: int) -> ExperimentResult:
+    population = _population(population, utility_model, count, seed)
     strategies = strategy_grid(kappas, prices)
     psi_panel, phi_panel = monopoly_capacity_sweep(population, strategies, nus)
     result = ExperimentResult(
@@ -251,7 +258,7 @@ def _monopoly_capacity_experiment(experiment_id: str, utility_model: str,
                     "prices": tuple(float(c) for c in prices),
                     "nus": (float(nus[0]), float(nus[-1]), len(nus)),
                     "utility_model": utility_model,
-                    "providers": len(population)},
+                    "providers": len(population), "seed": seed},
     )
     result.add_panel(psi_panel)
     result.add_panel(phi_panel)
@@ -284,20 +291,22 @@ def figure5_monopoly_capacity(population: Optional[Population] = None,
                               kappas: Sequence[float] = _DEFAULT_STRATEGY_KAPPAS,
                               prices: Sequence[float] = _DEFAULT_STRATEGY_PRICES,
                               nus: Sequence[float] = _DEFAULT_CAPACITY_GRID,
-                              count: int = 1000) -> ExperimentResult:
+                              count: int = 1000,
+                              seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 5: ``Psi`` and ``Phi`` vs capacity under a ``(kappa, c)`` grid."""
     return _monopoly_capacity_experiment("FIG5", "beta_correlated", population,
-                                         kappas, prices, nus, count)
+                                         kappas, prices, nus, count, seed)
 
 
 def figure10_appendix_monopoly_capacity(population: Optional[Population] = None,
                                         kappas: Sequence[float] = _DEFAULT_STRATEGY_KAPPAS,
                                         prices: Sequence[float] = _DEFAULT_STRATEGY_PRICES,
                                         nus: Sequence[float] = _DEFAULT_CAPACITY_GRID,
-                                        count: int = 1000) -> ExperimentResult:
+                                        count: int = 1000,
+                                        seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 10 (appendix): Figure 5 with ``phi`` independent of ``beta``."""
     return _monopoly_capacity_experiment("FIG10", "independent", population,
-                                         kappas, prices, nus, count)
+                                         kappas, prices, nus, count, seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -306,8 +315,9 @@ def figure10_appendix_monopoly_capacity(population: Optional[Population] = None,
 def _duopoly_price_experiment(experiment_id: str, utility_model: str,
                               population: Optional[Population],
                               nus: Sequence[float], prices: Sequence[float],
-                              kappa: float, count: int) -> ExperimentResult:
-    population = _population(population, utility_model, count)
+                              kappa: float, count: int,
+                              seed: int) -> ExperimentResult:
+    population = _population(population, utility_model, count, seed)
     share_panel, psi_panel, phi_panel = duopoly_price_sweep(
         population, nus, prices, kappa=kappa)
     result = ExperimentResult(
@@ -317,7 +327,7 @@ def _duopoly_price_experiment(experiment_id: str, utility_model: str,
         parameters={"nus": tuple(float(n) for n in nus),
                     "prices": (float(prices[0]), float(prices[-1]), len(prices)),
                     "kappa": kappa, "utility_model": utility_model,
-                    "providers": len(population)},
+                    "providers": len(population), "seed": seed},
     )
     for panel in (share_panel, psi_panel, phi_panel):
         result.add_panel(panel)
@@ -346,21 +356,21 @@ def _duopoly_price_experiment(experiment_id: str, utility_model: str,
 def figure7_duopoly_price(population: Optional[Population] = None,
                           nus: Sequence[float] = _DEFAULT_NUS_PRICE_SWEEP,
                           prices: Sequence[float] = _DEFAULT_PRICES,
-                          kappa: float = 1.0, count: int = 1000
-                          ) -> ExperimentResult:
+                          kappa: float = 1.0, count: int = 1000,
+                          seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 7: duopoly market share / surplus vs the strategic ISP's price."""
     return _duopoly_price_experiment("FIG7", "beta_correlated", population,
-                                     nus, prices, kappa, count)
+                                     nus, prices, kappa, count, seed)
 
 
 def figure11_appendix_duopoly_price(population: Optional[Population] = None,
                                     nus: Sequence[float] = _DEFAULT_NUS_PRICE_SWEEP,
                                     prices: Sequence[float] = _DEFAULT_PRICES,
-                                    kappa: float = 1.0, count: int = 1000
-                                    ) -> ExperimentResult:
+                                    kappa: float = 1.0, count: int = 1000,
+                                    seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 11 (appendix): Figure 7 with ``phi`` independent of ``beta``."""
     return _duopoly_price_experiment("FIG11", "independent", population,
-                                     nus, prices, kappa, count)
+                                     nus, prices, kappa, count, seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -371,8 +381,8 @@ def _duopoly_capacity_experiment(experiment_id: str, utility_model: str,
                                  kappas: Sequence[float],
                                  prices: Sequence[float],
                                  nus: Sequence[float],
-                                 count: int) -> ExperimentResult:
-    population = _population(population, utility_model, count)
+                                 count: int, seed: int) -> ExperimentResult:
+    population = _population(population, utility_model, count, seed)
     strategies = strategy_grid(kappas, prices)
     share_panel, psi_panel, phi_panel = duopoly_capacity_sweep(
         population, strategies, nus)
@@ -384,7 +394,7 @@ def _duopoly_capacity_experiment(experiment_id: str, utility_model: str,
                     "prices": tuple(float(c) for c in prices),
                     "nus": (float(nus[0]), float(nus[-1]), len(nus)),
                     "utility_model": utility_model,
-                    "providers": len(population)},
+                    "providers": len(population), "seed": seed},
     )
     for panel in (share_panel, psi_panel, phi_panel):
         result.add_panel(panel)
@@ -412,20 +422,22 @@ def figure8_duopoly_capacity(population: Optional[Population] = None,
                              kappas: Sequence[float] = _DEFAULT_STRATEGY_KAPPAS,
                              prices: Sequence[float] = _DEFAULT_STRATEGY_PRICES,
                              nus: Sequence[float] = _DEFAULT_CAPACITY_GRID,
-                             count: int = 1000) -> ExperimentResult:
+                             count: int = 1000,
+                             seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 8: duopoly market share / surplus vs capacity for a strategy grid."""
     return _duopoly_capacity_experiment("FIG8", "beta_correlated", population,
-                                        kappas, prices, nus, count)
+                                        kappas, prices, nus, count, seed)
 
 
 def figure12_appendix_duopoly_capacity(population: Optional[Population] = None,
                                        kappas: Sequence[float] = _DEFAULT_STRATEGY_KAPPAS,
                                        prices: Sequence[float] = _DEFAULT_STRATEGY_PRICES,
                                        nus: Sequence[float] = _DEFAULT_CAPACITY_GRID,
-                                       count: int = 1000) -> ExperimentResult:
+                                       count: int = 1000,
+                                       seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Figure 12 (appendix): Figure 8 with ``phi`` independent of ``beta``."""
     return _duopoly_capacity_experiment("FIG12", "independent", population,
-                                        kappas, prices, nus, count)
+                                        kappas, prices, nus, count, seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -435,15 +447,17 @@ def theorem4_kappa_dominance(population: Optional[Population] = None,
                              nus: Sequence[float] = (50.0, 150.0, 300.0),
                              prices: Sequence[float] = (0.2, 0.5, 0.8),
                              kappas: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
-                             count: int = 1000) -> ExperimentResult:
+                             count: int = 1000,
+                             seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Theorem 4: at any price, ``kappa = 1`` maximises the monopolist's revenue."""
-    population = _population(population, "beta_correlated", count)
+    population = _population(population, "beta_correlated", count, seed)
     result = ExperimentResult(
         experiment_id="THM4",
         description="kappa = 1 (weakly) dominates smaller premium capacity shares",
         parameters={"nus": tuple(float(n) for n in nus),
                     "prices": tuple(float(c) for c in prices),
-                    "kappas": tuple(float(k) for k in kappas)},
+                    "kappas": tuple(float(k) for k in kappas),
+                    "providers": len(population), "seed": seed},
     )
     all_hold = True
     for nu in nus:
@@ -469,9 +483,10 @@ def theorem5_public_option_alignment(population: Optional[Population] = None,
                                      kappas: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
                                      prices: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
                                      strategic_capacity_share: float = 0.5,
-                                     count: int = 1000) -> ExperimentResult:
+                                     count: int = 1000,
+                                     seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Theorem 5: against a Public Option, maximising market share maximises Phi."""
-    population = _population(population, "beta_correlated", count)
+    population = _population(population, "beta_correlated", count, seed)
     duopoly = DuopolyGame(population, nu, strategic_capacity_share)
     strategies = strategy_grid(kappas, prices, include_public_option=True)
     report = duopoly.alignment_report(strategies)
@@ -488,7 +503,8 @@ def theorem5_public_option_alignment(population: Optional[Population] = None,
         description="Market-share-optimal strategy against a Public Option also "
                     "maximises consumer surplus",
         parameters={"nu": nu, "strategies": len(strategies),
-                    "strategic_capacity_share": strategic_capacity_share},
+                    "strategic_capacity_share": strategic_capacity_share,
+                    "providers": len(population), "seed": seed},
     )
     result.add_panel(panel)
     by_share = report["market_share_optimum"]
@@ -510,9 +526,10 @@ def lemma4_proportional_shares(population: Optional[Population] = None,
                                nu: float = 150.0,
                                capacity_shares: Optional[dict] = None,
                                strategy: ISPStrategy = ISPStrategy(0.6, 0.4),
-                               count: int = 300) -> ExperimentResult:
+                               count: int = 300,
+                               seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Lemma 4: homogeneous strategies give market shares equal to capacity shares."""
-    population = _population(population, "beta_correlated", count)
+    population = _population(population, "beta_correlated", count, seed)
     if capacity_shares is None:
         capacity_shares = {"ISP-A": 0.5, "ISP-B": 0.3, "ISP-C": 0.2}
     game = OligopolyGame(population, nu, capacity_shares,
@@ -532,7 +549,7 @@ def lemma4_proportional_shares(population: Optional[Population] = None,
         description="Homogeneous-strategy oligopoly equilibrium has m_I = gamma_I",
         parameters={"nu": nu, "strategy": strategy.describe(),
                     "capacity_shares": dict(capacity_shares),
-                    "providers": len(population)},
+                    "providers": len(population), "seed": seed},
     )
     result.add_panel(panel)
     result.findings["max_share_gap"] = report["max_gap"]
@@ -548,9 +565,10 @@ def theorem6_alignment(population: Optional[Population] = None,
                        capacity_shares: Optional[dict] = None,
                        kappas: Sequence[float] = (0.5, 1.0),
                        prices: Sequence[float] = (0.2, 0.5, 0.8),
-                       count: int = 300) -> ExperimentResult:
+                       count: int = 300,
+                       seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Theorem 6: market-share best responses are epsilon-best for consumer surplus."""
-    population = _population(population, "beta_correlated", count)
+    population = _population(population, "beta_correlated", count, seed)
     if capacity_shares is None:
         capacity_shares = {"ISP-A": 0.5, "ISP-B": 0.5}
     game = OligopolyGame(population, nu, capacity_shares)
@@ -584,7 +602,8 @@ def theorem6_alignment(population: Optional[Population] = None,
         description="Market-share and consumer-surplus best responses are aligned "
                     "under oligopolistic competition",
         parameters={"nu": nu, "capacity_shares": dict(capacity_shares),
-                    "candidates": len(candidates), "providers": len(population)},
+                    "candidates": len(candidates), "providers": len(population),
+                    "seed": seed},
     )
     result.add_panel(panel)
     shortfall = phi_outcome.consumer_surplus - share_outcome.consumer_surplus
@@ -604,9 +623,10 @@ def regulation_regimes(population: Optional[Population] = None,
                        nu: float = 200.0,
                        kappas: Sequence[float] = (0.5, 1.0),
                        prices: Sequence[float] = (0.2, 0.45, 0.7),
-                       count: int = 1000) -> ExperimentResult:
+                       count: int = 1000,
+                       seed: int = DEFAULT_SEED) -> ExperimentResult:
     """Consumer surplus under the four regimes discussed by the paper."""
-    population = _population(population, "beta_correlated", count)
+    population = _population(population, "beta_correlated", count, seed)
     strategies = strategy_grid(kappas, prices)
     comparison = compare_regimes(population, nu, strategies)
     panel = SweepResult(title=f"Consumer and ISP surplus by regime (nu={nu:g})")
@@ -622,7 +642,7 @@ def regulation_regimes(population: Optional[Population] = None,
         description="Regulatory-regime comparison: unregulated monopoly vs "
                     "neutral regulation vs Public Option vs competition",
         parameters={"nu": nu, "strategies": len(strategies),
-                    "providers": len(population)},
+                    "providers": len(population), "seed": seed},
     )
     result.add_panel(panel)
     result.findings["ranking"] = [r.regime for r in ranked]

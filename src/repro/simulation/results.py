@@ -4,16 +4,78 @@ The library deliberately produces *data*, not plots: every experiment
 returns named series (x/y arrays plus metadata) that can be printed as
 plain-text tables (the benchmarks do exactly this), post-processed, or fed
 to any plotting front-end by the user.
+
+Every container also round-trips through plain JSON-compatible dictionaries
+(:meth:`ExperimentResult.to_dict` / :meth:`ExperimentResult.from_dict`)
+under the versioned schema documented in ``ARTIFACTS.md``; the runner
+(:mod:`repro.runner`) serialises these dictionaries as canonical JSON
+artifacts that the golden-regression tests pin.
 """
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ModelValidationError
 
-__all__ = ["Series", "SweepResult", "ExperimentResult"]
+__all__ = ["Series", "SweepResult", "ExperimentResult",
+           "RESULT_SCHEMA_VERSION"]
+
+#: Version of the ``to_dict`` / ``from_dict`` artifact schema.  Bump this
+#: whenever the dictionary layout changes shape (adding optional keys is
+#: backwards compatible and does not require a bump).
+RESULT_SCHEMA_VERSION = 1
+
+#: ``kind`` marker embedded in serialised experiment results so artifact
+#: files are self-describing.
+RESULT_KIND = "repro-netneutrality/experiment-result"
+
+
+def _canonical_value(value, context: str):
+    """``value`` converted to JSON-compatible built-ins, recursively.
+
+    Tuples become lists, numpy scalars become Python scalars, and mapping
+    keys are coerced to strings (numeric keys via ``repr`` so they stay
+    unambiguous).  Anything that cannot be represented in JSON raises
+    :class:`ModelValidationError` at serialisation time rather than
+    producing an artifact that cannot be reloaded.
+    """
+    if isinstance(value, (str, type(None), bool)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, Mapping):
+        converted = {}
+        for key, item in value.items():
+            if isinstance(key, (bool, np.bool_)):
+                key = repr(bool(key))
+            elif isinstance(key, numbers.Integral):
+                key = repr(int(key))
+            elif isinstance(key, numbers.Real):
+                key = repr(float(key))
+            elif not isinstance(key, str):
+                raise ModelValidationError(
+                    f"{context}: mapping key {key!r} is not JSON-representable")
+            if key in converted:
+                raise ModelValidationError(
+                    f"{context}: duplicate mapping key {key!r} after "
+                    "string coercion")
+            converted[key] = _canonical_value(item, context)
+        return converted
+    if isinstance(value, (list, tuple, set, frozenset, np.ndarray)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_canonical_value(item, context) for item in items]
+    raise ModelValidationError(
+        f"{context}: value {value!r} of type {type(value).__name__} is not "
+        "JSON-representable")
 
 
 @dataclass(frozen=True)
@@ -59,6 +121,28 @@ class Series:
             if abs(sample_x - x) <= tolerance:
                 return sample_y
         raise KeyError(f"x={x} not sampled in series {self.name!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (see ``ARTIFACTS.md``)."""
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x": [float(v) for v in self.x],
+            "y": [float(v) for v in self.y],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Series":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(name=payload["name"], x=tuple(payload["x"]),
+                       y=tuple(payload["y"]),
+                       x_label=payload.get("x_label", "x"),
+                       y_label=payload.get("y_label", "y"))
+        except (KeyError, TypeError) as error:
+            raise ModelValidationError(
+                f"malformed series payload: {error!r}") from error
 
 
 @dataclass
@@ -106,6 +190,28 @@ class SweepResult:
             lines.append(row)
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (see ``ARTIFACTS.md``)."""
+        return {
+            "title": self.title,
+            "parameters": _canonical_value(self.parameters,
+                                           f"panel {self.title!r} parameters"),
+            "series": [series.to_dict() for series in self.series],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            panel = cls(title=payload["title"],
+                        parameters=dict(payload.get("parameters", {})))
+            for series_payload in payload.get("series", []):
+                panel.add(Series.from_dict(series_payload))
+        except (KeyError, TypeError) as error:
+            raise ModelValidationError(
+                f"malformed panel payload: {error!r}") from error
+        return panel
+
 
 @dataclass
 class ExperimentResult:
@@ -114,7 +220,9 @@ class ExperimentResult:
     ``panels`` holds one :class:`SweepResult` per sub-figure; ``findings``
     records the qualitative checks (the "shape" claims of the paper) as
     name -> bool/number pairs, which the benchmark harness prints alongside
-    the tables and EXPERIMENTS.md summarises.
+    the tables and the golden-artifact regression tests pin (the experiment
+    registry in :mod:`repro.runner.registry` declares which findings each
+    experiment is expected to satisfy).
     """
 
     experiment_id: str
@@ -145,3 +253,49 @@ class ExperimentResult:
             for key, value in self.findings.items():
                 sections.append(f"  - {key}: {value}")
         return "\n\n".join(sections)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation under the versioned schema.
+
+        The payload is self-describing (``schema`` + ``kind`` markers) and
+        contains only JSON built-ins: tuples are canonicalised to lists and
+        numpy scalars to Python scalars.  Non-finite floats are legal here;
+        the artifact writer (:mod:`repro.runner.artifacts`) encodes them
+        portably before producing JSON text.
+        """
+        context = f"experiment {self.experiment_id}"
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "kind": RESULT_KIND,
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "parameters": _canonical_value(self.parameters,
+                                           f"{context} parameters"),
+            "panels": [panel.to_dict() for panel in self.panels],
+            "findings": _canonical_value(self.findings,
+                                         f"{context} findings"),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        schema = payload.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ModelValidationError(
+                f"unsupported experiment-result schema {schema!r} "
+                f"(this library reads version {RESULT_SCHEMA_VERSION})")
+        kind = payload.get("kind", RESULT_KIND)
+        if kind != RESULT_KIND:
+            raise ModelValidationError(
+                f"payload kind {kind!r} is not an experiment result")
+        try:
+            result = cls(experiment_id=payload["experiment_id"],
+                         description=payload["description"],
+                         findings=dict(payload.get("findings", {})),
+                         parameters=dict(payload.get("parameters", {})))
+            for panel_payload in payload.get("panels", []):
+                result.add_panel(SweepResult.from_dict(panel_payload))
+        except (KeyError, TypeError) as error:
+            raise ModelValidationError(
+                f"malformed experiment payload: {error!r}") from error
+        return result

@@ -91,8 +91,11 @@ def monopoly_capacity_sweep(population: Population,
         population,
         _class_capacities(nu_grid, {s.kappa for s in strategies}),
         mechanism)
-    psi_panel = SweepResult(title="Per capita ISP surplus Psi vs capacity nu")
-    phi_panel = SweepResult(title="Per capita consumer surplus Phi vs capacity nu")
+    grid_parameters = {"strategies": [s.describe() for s in strategies]}
+    psi_panel = SweepResult(title="Per capita ISP surplus Psi vs capacity nu",
+                            parameters=dict(grid_parameters))
+    phi_panel = SweepResult(title="Per capita consumer surplus Phi vs capacity nu",
+                            parameters=dict(grid_parameters))
     for strategy in strategies:
         outcomes = MonopolyGame(population, nu_grid[0], mechanism).capacity_sweep(
             strategy, nu_grid)
@@ -120,12 +123,17 @@ def duopoly_price_sweep(population: Population, nus: Iterable[float],
     ISP's surplus curve — identical across all price points — is solved once.
     """
     price_grid = tuple(float(p) for p in prices)
+    grid_parameters = {
+        "kappa": kappa,
+        "strategic_capacity_share": strategic_capacity_share,
+        "opponent_strategy": opponent_strategy.describe(),
+    }
     share_panel = SweepResult(title=f"Market share m_I vs price (kappa={kappa})",
-                              parameters={"kappa": kappa})
+                              parameters=dict(grid_parameters))
     psi_panel = SweepResult(title=f"Per capita ISP surplus Psi_I vs price (kappa={kappa})",
-                            parameters={"kappa": kappa})
+                            parameters=dict(grid_parameters))
     phi_panel = SweepResult(title=f"Per capita consumer surplus Phi vs price (kappa={kappa})",
-                            parameters={"kappa": kappa})
+                            parameters=dict(grid_parameters))
     for nu in nus:
         game = DuopolyGame(population, float(nu), strategic_capacity_share, mechanism)
         outcomes = game.price_sweep(price_grid, kappa=kappa,
@@ -152,9 +160,17 @@ def duopoly_capacity_sweep(population: Population,
                            ) -> tuple[SweepResult, SweepResult, SweepResult]:
     """Market share, ISP surplus and consumer surplus vs capacity (Figure 8)."""
     nu_grid = tuple(float(nu) for nu in nus)
-    share_panel = SweepResult(title="Market share m_I vs capacity nu")
-    psi_panel = SweepResult(title="Per capita ISP surplus Psi_I vs capacity nu")
-    phi_panel = SweepResult(title="Per capita consumer surplus Phi vs capacity nu")
+    grid_parameters = {
+        "strategies": [s.describe() for s in strategies],
+        "strategic_capacity_share": strategic_capacity_share,
+        "opponent_strategy": opponent_strategy.describe(),
+    }
+    share_panel = SweepResult(title="Market share m_I vs capacity nu",
+                              parameters=dict(grid_parameters))
+    psi_panel = SweepResult(title="Per capita ISP surplus Psi_I vs capacity nu",
+                            parameters=dict(grid_parameters))
+    phi_panel = SweepResult(title="Per capita consumer surplus Phi vs capacity nu",
+                            parameters=dict(grid_parameters))
     for strategy in strategies:
         game = DuopolyGame(population, nu_grid[0], strategic_capacity_share, mechanism)
         outcomes = game.capacity_sweep(strategy, nu_grid,

@@ -203,6 +203,26 @@ class TestValidation:
         with pytest.raises(ModelValidationError):
             validate_demand_function(Jumpy(theta_hat=1.0))
 
+    def test_validator_rejects_step_in_second_interval(self):
+        # The second grid interval has a looser jump threshold (continuous
+        # steep demands legitimately jump ~0.251 there) but a genuine step
+        # discontinuity must still be caught.
+        class EarlyJump(UnitDemand):
+            def evaluate(self, theta):
+                return 0.4 if theta < 1.5 / 256 else 1.0
+
+            def demand_at_zero(self):
+                return 0.4
+
+        with pytest.raises(ModelValidationError, match="jumps"):
+            validate_demand_function(EarlyJump(theta_hat=1.0))
+
+    def test_validator_accepts_steep_continuous_exponential(self):
+        # Regression: beta ~= 0.0059 makes the Equation-(3) demand rise by
+        # ~0.2507 over the second grid interval — continuous, must pass.
+        validate_demand_function(
+            ExponentialSensitivityDemand(theta_hat=1.0, beta=0.005859375))
+
     def test_validator_needs_enough_samples(self):
         with pytest.raises(ModelValidationError):
             validate_demand_function(UnitDemand(1.0), samples=2)

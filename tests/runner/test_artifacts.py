@@ -1,0 +1,182 @@
+"""Tests for canonical artifact serialisation and the run manifest."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.runner import artifacts
+from repro.runner.compare import diff_payloads
+from repro.runner.registry import get_spec
+from repro.simulation.results import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    Series,
+    SweepResult,
+)
+
+
+def small_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="TEST",
+        description="synthetic result",
+        parameters={"count": 3, "grid": (0.0, 0.5, 1.0), "label": "x"},
+    )
+    panel = SweepResult(title="panel", parameters={"kappa": 0.5})
+    panel.add(Series(name="s", x=(0.0, 1.0), y=(2.0, 3.5)))
+    result.add_panel(panel)
+    result.findings["holds"] = True
+    result.findings["value"] = 0.25
+    result.findings["names"] = ["a", "b"]
+    return result
+
+
+class TestResultSerialisation:
+    def test_roundtrip_identity(self):
+        payload = small_result().to_dict()
+        rebuilt = ExperimentResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_tuples_canonicalised_to_lists(self):
+        payload = small_result().to_dict()
+        assert payload["parameters"]["grid"] == [0.0, 0.5, 1.0]
+
+    def test_schema_version_embedded(self):
+        payload = small_result().to_dict()
+        assert payload["schema"] == RESULT_SCHEMA_VERSION
+        assert payload["kind"].startswith("repro-netneutrality/")
+
+    def test_unsupported_schema_rejected(self):
+        payload = small_result().to_dict()
+        payload["schema"] = RESULT_SCHEMA_VERSION + 99
+        with pytest.raises(ModelValidationError, match="schema"):
+            ExperimentResult.from_dict(payload)
+
+    def test_wrong_kind_rejected(self):
+        payload = small_result().to_dict()
+        payload["kind"] = "something/else"
+        with pytest.raises(ModelValidationError, match="kind"):
+            ExperimentResult.from_dict(payload)
+
+    def test_unserialisable_value_rejected(self):
+        result = small_result()
+        result.findings["bad"] = object()
+        with pytest.raises(ModelValidationError, match="not JSON-representable"):
+            result.to_dict()
+
+    def test_real_experiment_roundtrips(self):
+        result = get_spec("THM4").run(scale="smoke")
+        payload = result.to_dict()
+        assert ExperimentResult.from_dict(payload).to_dict() == payload
+
+
+class TestCanonicalJson:
+    def test_bytes_deterministic(self):
+        payload = small_result().to_dict()
+        assert artifacts.canonical_json_bytes(payload) == \
+            artifacts.canonical_json_bytes(payload)
+
+    def test_keys_sorted_and_ascii(self):
+        data = artifacts.canonical_json_bytes({"b": 1, "a": 2})
+        assert data == b'{\n  "a": 2,\n  "b": 1\n}\n'
+
+    def test_nonfinite_floats_roundtrip(self):
+        payload = {"plus": math.inf, "minus": -math.inf, "nan": math.nan,
+                   "nested": [1.0, math.inf]}
+        data = artifacts.canonical_json_bytes(payload)
+        json.loads(data)  # strict JSON, no Infinity literals
+        assert b"Infinity" not in data
+        decoded = artifacts.decode_payload(data)
+        assert decoded["plus"] == math.inf
+        assert decoded["minus"] == -math.inf
+        assert math.isnan(decoded["nan"])
+        assert decoded["nested"] == [1.0, math.inf]
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ModelValidationError, match="reserved key"):
+            artifacts.canonical_json_bytes({"$nonfinite": "x"})
+
+    def test_unknown_nonfinite_token_rejected(self):
+        with pytest.raises(ModelValidationError, match="non-finite"):
+            artifacts.decode_payload(b'{"v": {"$nonfinite": "huge"}}')
+
+
+class TestArtifactFiles:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        result = small_result()
+        data = artifacts.result_to_artifact_bytes(result)
+        path = tmp_path / artifacts.artifact_filename("TEST")
+        path.write_bytes(data)
+        reloaded = artifacts.load_artifact(path)
+        assert diff_payloads(result.to_dict(), reloaded.to_dict()) == []
+
+    def test_load_artifact_bad_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("not json")
+        with pytest.raises(ModelValidationError, match="cannot read"):
+            artifacts.load_artifact(path)
+
+    def test_load_artifact_missing_file(self, tmp_path):
+        with pytest.raises(ModelValidationError, match="cannot read"):
+            artifacts.load_artifact(tmp_path / "absent.json")
+
+
+class TestManifest:
+    def test_manifest_sorted_and_hashed(self):
+        data_b = b"bbb"
+        data_a = b"aaaa"
+        manifest = artifacts.build_manifest(
+            "smoke", {"B": data_b, "A": data_a},
+            failed_findings={"B": ["x"]})
+        assert list(manifest["experiments"]) == ["A", "B"]
+        entry = manifest["experiments"]["A"]
+        assert entry["sha256"] == artifacts.sha256_bytes(data_a)
+        assert entry["bytes"] == len(data_a)
+        assert manifest["experiments"]["B"]["failed_findings"] == ["x"]
+        assert manifest["schema"] == artifacts.MANIFEST_SCHEMA_VERSION
+
+    def test_manifest_roundtrip(self, tmp_path):
+        manifest = artifacts.build_manifest("smoke", {"A": b"data"})
+        path = tmp_path / "manifest.json"
+        path.write_bytes(artifacts.manifest_bytes(manifest))
+        assert artifacts.load_manifest(path) == manifest
+
+    def test_load_manifest_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_bytes(artifacts.canonical_json_bytes({"kind": "other"}))
+        with pytest.raises(ModelValidationError, match="not a run manifest"):
+            artifacts.load_manifest(path)
+
+
+class TestDiffPayloads:
+    def test_equal_payloads_no_diff(self):
+        assert diff_payloads({"a": [1, 2.0]}, {"a": [1, 2.0]}) == []
+
+    def test_float_within_tolerance_ignored(self):
+        assert diff_payloads({"v": 1.0}, {"v": 1.0 + 1e-12}) == []
+
+    def test_float_beyond_tolerance_reported(self):
+        diffs = diff_payloads({"v": 1.0}, {"v": 1.0 + 1e-6})
+        assert len(diffs) == 1 and "$.v" in diffs[0]
+
+    def test_bool_int_float_types_distinct(self):
+        assert diff_payloads({"v": True}, {"v": 1}) != []
+        assert diff_payloads({"v": 1}, {"v": 1.0}) != []
+
+    def test_exact_match_required_for_strings(self):
+        assert diff_payloads({"v": "a"}, {"v": "b"}) != []
+
+    def test_missing_and_unexpected_keys(self):
+        diffs = diff_payloads({"a": 1}, {"b": 1})
+        assert any("missing key" in d for d in diffs)
+        assert any("unexpected key" in d for d in diffs)
+
+    def test_length_mismatch(self):
+        assert any("length" in d for d in diff_payloads([1, 2], [1]))
+
+    def test_nan_equals_nan(self):
+        assert diff_payloads({"v": math.nan}, {"v": math.nan}) == []
+        assert diff_payloads({"v": math.inf}, {"v": math.nan}) != []

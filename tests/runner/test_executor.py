@@ -1,0 +1,148 @@
+"""Property tests for the sharded multi-process runner.
+
+The headline guarantees: artifacts and manifest are byte-identical for any
+worker count, shard count and shard order, and the non-deterministic run
+metadata stays out of the hashed outputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.runner.artifacts import load_manifest, sha256_bytes
+from repro.runner.executor import reproduce_all, shard_experiments
+from repro.runner.registry import experiment_ids
+
+#: A fast cross-section of the suite: analytic figures, a monopoly sweep, a
+#: duopoly sweep, the theorem checks and the oligopoly experiments.
+SUBSET = ("FIG2", "FIG3", "FIG4", "FIG7", "THM4", "THM5", "LEM4", "REG")
+
+
+def run_files(run_dir):
+    """Name -> bytes of every deterministic file in a run directory."""
+    return {path.name: path.read_bytes()
+            for path in sorted(run_dir.iterdir())
+            if path.name != "run_info.json"}
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    """The full suite at smoke scale with one worker (the reference run)."""
+    output = tmp_path_factory.mktemp("serial")
+    summary = reproduce_all(scale="smoke", workers=1, output_dir=output)
+    return summary
+
+
+class TestSerialRun:
+    def test_runs_whole_registry(self, serial_run):
+        assert serial_run.experiment_ids == tuple(sorted(experiment_ids()))
+
+    def test_all_expected_findings_hold_at_smoke(self, serial_run):
+        assert serial_run.ok
+        assert serial_run.failed_findings == {}
+
+    def test_artifact_per_experiment_plus_manifest(self, serial_run):
+        names = set(run_files(serial_run.output_dir))
+        assert names == {f"{i}.json" for i in experiment_ids()} | \
+            {"manifest.json"}
+
+    def test_manifest_hashes_match_files(self, serial_run):
+        manifest = load_manifest(serial_run.manifest_path)
+        assert manifest["scale"] == "smoke"
+        for experiment_id, entry in manifest["experiments"].items():
+            data = (serial_run.output_dir / entry["artifact"]).read_bytes()
+            assert entry["sha256"] == sha256_bytes(data)
+            assert entry["bytes"] == len(data)
+            assert entry["failed_findings"] == []
+
+    def test_run_info_written_but_unhashed(self, serial_run):
+        info = json.loads(
+            (serial_run.output_dir / "run_info.json").read_text())
+        assert info["workers"] == 1
+        manifest_text = serial_run.manifest_path.read_text()
+        assert "run_info" not in manifest_text
+        assert "elapsed" not in manifest_text
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self, serial_run,
+                                                   tmp_path):
+        parallel = reproduce_all(scale="smoke", workers=4,
+                                 output_dir=tmp_path)
+        assert parallel.manifest_sha256 == serial_run.manifest_sha256
+        assert run_files(parallel.output_dir) == \
+            run_files(serial_run.output_dir)
+
+    def test_shard_count_and_order_do_not_change_hashes(self, tmp_path):
+        baseline = reproduce_all(ids=SUBSET, scale="smoke", workers=1,
+                                 output_dir=tmp_path / "a")
+        sharded = reproduce_all(ids=SUBSET, scale="smoke", workers=2,
+                                shards=3, shard_order=(2, 0, 1),
+                                output_dir=tmp_path / "b")
+        reversed_order = reproduce_all(ids=tuple(reversed(SUBSET)),
+                                       scale="smoke", workers=2,
+                                       output_dir=tmp_path / "c")
+        assert baseline.manifest_sha256 == sharded.manifest_sha256
+        assert baseline.manifest_sha256 == reversed_order.manifest_sha256
+        assert run_files(baseline.output_dir) == \
+            run_files(sharded.output_dir) == \
+            run_files(reversed_order.output_dir)
+
+    def test_repeated_serial_runs_identical(self, serial_run, tmp_path):
+        again = reproduce_all(ids=SUBSET, scale="smoke", workers=1,
+                              output_dir=tmp_path)
+        reference = run_files(serial_run.output_dir)
+        for name, data in run_files(again.output_dir).items():
+            if name != "manifest.json":
+                assert data == reference[name]
+
+
+class TestSharding:
+    def test_round_robin_partition(self):
+        groups = shard_experiments(["a", "b", "c", "d", "e"], 2)
+        assert groups == [["a", "c", "e"], ["b", "d"]]
+
+    def test_more_shards_than_items_collapses(self):
+        groups = shard_experiments(["a", "b"], 5)
+        assert groups == [["a"], ["b"]]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ModelValidationError, match="positive"):
+            shard_experiments(["a"], 0)
+
+
+class TestValidation:
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ModelValidationError, match="unknown experiment"):
+            reproduce_all(ids=["FIG99"], output_dir=tmp_path)
+
+    def test_empty_selection_rejected(self, tmp_path):
+        with pytest.raises(ModelValidationError, match="no experiments"):
+            reproduce_all(ids=[], output_dir=tmp_path)
+
+    def test_invalid_worker_count(self, tmp_path):
+        with pytest.raises(ModelValidationError, match="workers"):
+            reproduce_all(ids=SUBSET, workers=0, output_dir=tmp_path)
+
+    def test_bad_shard_order_rejected(self, tmp_path):
+        with pytest.raises(ModelValidationError, match="shard_order"):
+            reproduce_all(ids=SUBSET, workers=2, shard_order=(5, 1),
+                          output_dir=tmp_path)
+
+    def test_count_override_propagates(self, tmp_path):
+        summary = reproduce_all(ids=("THM4",), scale="smoke", workers=1,
+                                count=30, output_dir=tmp_path)
+        payload = json.loads(
+            (summary.output_dir / "THM4.json").read_text())
+        assert payload["parameters"]["providers"] == 30
+
+    def test_rerun_clears_stale_artifacts(self, tmp_path):
+        reproduce_all(ids=("FIG2", "THM4"), scale="smoke", workers=1,
+                      output_dir=tmp_path)
+        summary = reproduce_all(ids=("FIG2",), scale="smoke", workers=1,
+                                output_dir=tmp_path)
+        names = {path.name for path in summary.output_dir.iterdir()}
+        assert names == {"FIG2.json", "manifest.json", "run_info.json"}

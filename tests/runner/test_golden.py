@@ -1,0 +1,66 @@
+"""Golden-artifact regression tests.
+
+Every experiment id is regenerated at the ``smoke`` scale (50-CP
+populations, coarse grids — milliseconds each) and diffed against the
+committed golden artifact under ``tests/runner/golden/smoke/`` with the
+per-field tolerance rules of :mod:`repro.runner.compare`: findings,
+partitions and all non-float fields must match exactly, float series (the
+surplus / throughput / market-share numbers) to 1e-9.  A solver change
+that silently shifts the numbers an experiment produces fails here even
+when every qualitative "shape" finding still holds.
+
+To regenerate the goldens after an *intentional* numerical change::
+
+    PYTHONPATH=src python -m repro.cli reproduce-all --scale smoke \
+        --workers 2 --output tests/runner/golden --strict-findings
+    rm tests/runner/golden/smoke/run_info.json
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.runner.artifacts import (
+    load_artifact_payload,
+    load_manifest,
+    result_to_artifact_bytes,
+    sha256_bytes,
+)
+from repro.runner.compare import diff_payloads
+from repro.runner.artifacts import decode_payload
+from repro.runner.registry import experiment_ids, get_spec
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "smoke"
+
+
+@pytest.mark.parametrize("experiment_id", experiment_ids())
+def test_smoke_run_matches_golden(experiment_id):
+    golden = load_artifact_payload(GOLDEN_DIR / f"{experiment_id}.json")
+    spec = get_spec(experiment_id)
+    result = spec.run(scale="smoke")
+    regenerated = decode_payload(result_to_artifact_bytes(result))
+    differences = diff_payloads(golden, regenerated)
+    assert not differences, (
+        f"{experiment_id} drifted from the golden artifact:\n  "
+        + "\n  ".join(differences[:40]))
+    assert spec.failed_findings(result) == []
+
+
+def test_golden_directory_complete():
+    names = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    assert names == {f"{i}.json" for i in experiment_ids()} | \
+        {"manifest.json"}
+
+
+def test_golden_manifest_consistent_with_artifacts():
+    """The committed manifest's hashes match the committed artifact bytes."""
+    manifest = load_manifest(GOLDEN_DIR / "manifest.json")
+    assert manifest["scale"] == "smoke"
+    assert set(manifest["experiments"]) == set(experiment_ids())
+    for experiment_id, entry in manifest["experiments"].items():
+        data = (GOLDEN_DIR / entry["artifact"]).read_bytes()
+        assert entry["sha256"] == sha256_bytes(data), experiment_id
+        assert entry["bytes"] == len(data), experiment_id
+        assert entry["failed_findings"] == [], experiment_id

@@ -1,0 +1,124 @@
+"""Tests for the declarative experiment registry."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.errors import ModelValidationError
+from repro.runner.registry import (
+    EXPERIMENT_SPECS,
+    SCALES,
+    SMOKE_COUNT,
+    ExperimentSpec,
+    experiment_ids,
+    get_spec,
+)
+from repro.simulation.results import ExperimentResult
+
+EXPECTED_IDS = {"FIG2", "FIG3", "FIG4", "FIG5", "FIG7", "FIG8", "FIG9",
+                "FIG10", "FIG11", "FIG12", "THM4", "THM5", "LEM4", "THM6",
+                "REG"}
+
+
+class TestRegistryContents:
+    def test_covers_all_paper_experiments(self):
+        assert set(experiment_ids()) == EXPECTED_IDS
+
+    def test_ids_unique(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_get_spec_roundtrip(self):
+        for experiment_id in experiment_ids():
+            assert get_spec(experiment_id).experiment_id == experiment_id
+
+    def test_get_spec_unknown_id(self):
+        with pytest.raises(ModelValidationError, match="unknown experiment"):
+            get_spec("FIG99")
+
+    def test_every_spec_has_smoke_and_paper_presets(self):
+        for spec in EXPERIMENT_SPECS:
+            assert "smoke" in spec.scales, spec.experiment_id
+            assert "paper" in spec.scales, spec.experiment_id
+
+    def test_smoke_presets_use_small_populations(self):
+        for spec in EXPERIMENT_SPECS:
+            if spec.count_aware:
+                assert spec.scales["smoke"]["count"] == SMOKE_COUNT, \
+                    spec.experiment_id
+
+    def test_scale_params_are_valid_function_kwargs(self):
+        for spec in EXPERIMENT_SPECS:
+            accepted = set(inspect.signature(spec.function).parameters)
+            for scale, params in spec.scales.items():
+                unknown = set(params) - accepted
+                assert not unknown, \
+                    f"{spec.experiment_id}/{scale}: {sorted(unknown)}"
+
+    def test_count_seed_awareness_matches_signatures(self):
+        for spec in EXPERIMENT_SPECS:
+            accepted = set(inspect.signature(spec.function).parameters)
+            assert spec.count_aware == ("count" in accepted), spec.experiment_id
+            assert spec.seed_aware == ("seed" in accepted), spec.experiment_id
+
+
+class TestResolveParams:
+    def test_default_scale_is_empty_override(self):
+        spec = get_spec("FIG4")
+        assert spec.resolve_params("default") == {}
+
+    def test_smoke_preset_merged_with_overrides(self):
+        spec = get_spec("FIG4")
+        params = spec.resolve_params("smoke", count=77, seed=5)
+        assert params["count"] == 77
+        assert params["seed"] == 5
+        assert params["nus"] == spec.scales["smoke"]["nus"]
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ModelValidationError, match="unknown scale"):
+            get_spec("FIG4").resolve_params("galactic")
+
+    def test_count_rejected_for_count_unaware(self):
+        with pytest.raises(ModelValidationError, match="count"):
+            get_spec("FIG2").resolve_params("smoke", count=10)
+
+    def test_ignored_overrides(self):
+        assert get_spec("FIG2").ignored_overrides(count=10, seed=3) == \
+            ["count", "seed"]
+        assert get_spec("FIG4").ignored_overrides(count=10, seed=3) == []
+        assert get_spec("FIG3").ignored_overrides() == []
+
+    def test_unknown_scale_name_in_spec_rejected(self):
+        with pytest.raises(ModelValidationError, match="unknown scales"):
+            ExperimentSpec(experiment_id="X", function=lambda: None,
+                           summary="", scales={"warp": {}})
+
+    def test_scales_constant_order(self):
+        assert SCALES == ("smoke", "default", "paper")
+
+
+class TestRunAndFindings:
+    def test_run_produces_matching_result(self):
+        result = get_spec("FIG2").run(scale="smoke")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "FIG2"
+
+    def test_failed_findings_empty_on_smoke_run(self):
+        spec = get_spec("FIG2")
+        result = spec.run(scale="smoke")
+        assert spec.failed_findings(result) == []
+
+    def test_failed_findings_reports_missing_and_false(self):
+        spec = get_spec("FIG2")
+        result = spec.run(scale="smoke")
+        result.findings[spec.expected_findings[0]] = False
+        del result.findings[spec.expected_findings[1]]
+        assert set(spec.failed_findings(result)) == set(spec.expected_findings)
+
+    def test_expected_findings_exist_in_smoke_artifacts(self):
+        # The golden suite pins the values; here we only require that every
+        # declared finding key is actually produced by the experiment.
+        for spec in EXPERIMENT_SPECS:
+            assert spec.expected_findings, spec.experiment_id

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENT_REGISTRY, build_parser, main
+from repro.runner.registry import experiment_ids
 
 
 class TestParser:
@@ -13,6 +16,7 @@ class TestParser:
                     "FIG10", "FIG11", "FIG12", "THM4", "THM5", "LEM4", "THM6",
                     "REG"}
         assert set(EXPERIMENT_REGISTRY) == expected
+        assert set(experiment_ids()) == expected
 
     def test_parser_subcommands(self):
         parser = build_parser()
@@ -21,11 +25,20 @@ class TestParser:
         assert args.experiment == "FIG2"
         args = parser.parse_args(["regimes", "--nu", "150"])
         assert args.nu == 150.0
+        args = parser.parse_args(["reproduce-all", "--workers", "4",
+                                  "--scale", "smoke"])
+        assert args.workers == 4
+        assert args.scale == "smoke"
 
     def test_unknown_experiment_rejected(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["run", "FIG99"])
+
+    def test_unknown_scale_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "FIG2", "--scale", "huge"])
 
 
 class TestMain:
@@ -50,8 +63,104 @@ class TestMain:
         output = capsys.readouterr().out
         assert "kappa_one_dominates_everywhere" in output
 
+    def test_run_smoke_scale(self, capsys):
+        assert main(["run", "THM4", "--scale", "smoke"]) == 0
+        assert "kappa_one_dominates_everywhere" in capsys.readouterr().out
+
+    def test_run_seed_override_changes_population(self, capsys):
+        assert main(["run", "THM4", "--scale", "smoke", "--seed", "5",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameters"]["seed"] == 5
+
+    def test_run_json_artifact(self, capsys):
+        assert main(["run", "FIG2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "FIG2"
+        assert payload["schema"] == 1
+
     def test_population_command(self, capsys):
         assert main(["population", "--count", "50"]) == 0
         output = capsys.readouterr().out
         assert "count" in output
         assert "unconstrained_per_capita_load" in output
+
+
+class TestIgnoredFlagWarnings:
+    def test_count_ignored_for_fig2_warns(self, capsys):
+        assert main(["run", "FIG2", "--count", "500"]) == 0
+        captured = capsys.readouterr()
+        assert "FIG2 does not take --count" in captured.err
+        assert "FIG2" in captured.out  # the run still happens
+
+    def test_seed_ignored_for_fig3_warns(self, capsys):
+        assert main(["run", "FIG3", "--seed", "9", "--max-rows", "3"]) == 0
+        assert "FIG3 does not take --seed" in capsys.readouterr().err
+
+    def test_count_aware_experiment_does_not_warn(self, capsys):
+        assert main(["run", "THM4", "--scale", "smoke", "--count", "40"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestErrorExitCodes:
+    def test_population_negative_count(self, capsys):
+        assert main(["population", "--count", "-5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_regimes_negative_count(self, capsys):
+        assert main(["regimes", "--count", "-3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_regimes_ok_exit_code(self, capsys):
+        assert main(["regimes", "--count", "60", "--nu", "150"]) == 0
+        assert "ordering" in capsys.readouterr().out
+
+    def test_reproduce_all_unknown_id(self, capsys, tmp_path):
+        assert main(["reproduce-all", "--only", "FIG99",
+                     "--output", str(tmp_path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestReproduceAll:
+    def test_writes_artifacts_and_manifest(self, capsys, tmp_path):
+        assert main(["reproduce-all", "--scale", "smoke", "--only", "FIG2",
+                     "--only", "THM4", "--output", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "reproduced 2 experiments" in output
+        run_dir = tmp_path / "smoke"
+        assert (run_dir / "FIG2.json").exists()
+        assert (run_dir / "THM4.json").exists()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert set(manifest["experiments"]) == {"FIG2", "THM4"}
+        assert (run_dir / "run_info.json").exists()
+
+    def test_parallel_run_matches_serial(self, capsys, tmp_path):
+        ids = ["FIG2", "FIG3", "THM4", "LEM4"]
+        argv = ["reproduce-all", "--scale", "smoke"]
+        for experiment_id in ids:
+            argv += ["--only", experiment_id]
+        assert main(argv + ["--output", str(tmp_path / "serial"),
+                            "--workers", "1"]) == 0
+        assert main(argv + ["--output", str(tmp_path / "parallel"),
+                            "--workers", "2"]) == 0
+        capsys.readouterr()
+        serial = (tmp_path / "serial/smoke/manifest.json").read_bytes()
+        parallel = (tmp_path / "parallel/smoke/manifest.json").read_bytes()
+        assert serial == parallel
+
+    def test_ignored_count_warns_per_experiment(self, capsys, tmp_path):
+        assert main(["reproduce-all", "--scale", "smoke", "--only", "FIG2",
+                     "--count", "80", "--output", str(tmp_path)]) == 0
+        assert "FIG2 does not take --count" in capsys.readouterr().err
+
+    def test_full_suite_warns_for_count_unaware_experiments(self, capsys,
+                                                            tmp_path):
+        assert main(["reproduce-all", "--scale", "smoke", "--count", "30",
+                     "--output", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "FIG2 does not take --count" in err
+        assert "FIG3 does not take --count" in err
+
+    def test_strict_findings_flag_accepted(self, capsys, tmp_path):
+        assert main(["reproduce-all", "--scale", "smoke", "--only", "THM4",
+                     "--strict-findings", "--output", str(tmp_path)]) == 0
