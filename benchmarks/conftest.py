@@ -35,6 +35,14 @@ _BENCH_TIMINGS: dict[str, float] = {}
 #: Solver-cache statistics captured right after each benchmark.  The caches
 #: are cleared before every benchmark, so these are per-benchmark numbers.
 _BENCH_CACHE_STATS: dict[str, dict] = {}
+#: Extra per-benchmark metrics (e.g. the scaling sweep's per-size wall
+#: times and peak RSS) merged verbatim into the summary entry.
+_BENCH_EXTRA: dict[str, dict] = {}
+
+
+def record_extra(name: str, payload: dict) -> None:
+    """Attach additional JSON-serialisable metrics to a benchmark's entry."""
+    _BENCH_EXTRA.setdefault(name, {}).update(payload)
 
 
 @pytest.fixture(autouse=True)
@@ -123,6 +131,9 @@ def pytest_sessionfinish(session, exitstatus):
         stats = _BENCH_CACHE_STATS.get(name)
         if stats is not None:
             entry["caches"] = stats
+        extra = _BENCH_EXTRA.get(name)
+        if extra is not None:
+            entry.update(extra)
         benchmarks[name] = entry
     payload = {
         "schema": 1,

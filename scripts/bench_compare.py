@@ -10,8 +10,11 @@ Prints a per-benchmark table (baseline seconds, current seconds, ratio) and
 exits non-zero when any benchmark slowed down by more than ``--threshold``
 (a ratio: 1.25 means "25% slower fails").  Benchmarks faster than
 ``--min-seconds`` in both runs are ignored — their timings are noise.
-Benchmarks present in only one file are reported but never fail the check,
-so adding or retiring benchmarks does not break CI.
+Benchmarks present in only one file are reported but by default never fail
+the check, so adding or retiring benchmarks does not break CI; pass
+``--require-baseline`` to instead exit with status 3 when a baseline
+benchmark is missing from the current run (a renamed or deleted benchmark
+would otherwise silently drop out of the regression gate).
 """
 
 from __future__ import annotations
@@ -96,6 +99,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="failure ratio current/baseline (default 1.25)")
     parser.add_argument("--min-seconds", type=float, default=0.05,
                         help="ignore benchmarks faster than this in both runs")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="exit 3 when a baseline benchmark is missing "
+                             "from the current run (default: report only)")
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error("--threshold must be > 1.0")
@@ -104,10 +110,16 @@ def main(argv: list[str] | None = None) -> int:
     lines, regressed = compare(baseline, current, args.threshold,
                                args.min_seconds)
     print("\n".join(lines))
+    missing = sorted(set(baseline) - set(current))
     if regressed:
         print(f"\nFAIL: at least one benchmark slowed by more than "
               f"{args.threshold:g}x", file=sys.stderr)
         return 1
+    if args.require_baseline and missing:
+        # Distinct exit code: coverage loss, not a timing regression.
+        print("\nFAIL: baseline benchmarks missing from the current run: "
+              + ", ".join(missing), file=sys.stderr)
+        return 3
     print("\nOK: no benchmark regressed beyond the threshold")
     return 0
 

@@ -15,17 +15,22 @@ Usage examples::
 qualitative findings) or, with ``--json``, its canonical JSON artifact.
 ``reproduce-all`` runs the whole suite through the sharded multi-process
 executor and writes one artifact per experiment plus a SHA-256 manifest
-(see ``ARTIFACTS.md`` for the layout).  Everything the CLI prints is also
+(see ``ARTIFACTS.md`` for the layout).  ``cache-stats`` (and the
+``--cache-stats`` flag on ``run``/``reproduce-all``) prints the solver
+caches' hit/miss counters, so cache-efficiency regressions are inspectable
+without the benchmark harness.  Everything the CLI prints is also
 available programmatically through the library API.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.cache import all_cache_stats
 from repro.core.regulation import compare_regimes
 from repro.errors import ModelValidationError
 from repro.runner.artifacts import result_to_artifact_bytes
@@ -76,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", action="store_true",
                             help="print the canonical JSON artifact instead "
                                  "of the plain-text report")
+    run_parser.add_argument("--cache-stats", action="store_true",
+                            help="after the run, print the solver caches' "
+                                 "hit/miss statistics to stderr")
 
     all_parser = subparsers.add_parser(
         "reproduce-all",
@@ -101,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--strict-findings", action="store_true",
                             help="exit non-zero when an expected finding "
                                  "does not hold")
+    all_parser.add_argument("--cache-stats", action="store_true",
+                            help="after the suite, print the solver caches' "
+                                 "hit/miss statistics to stderr (with "
+                                 "--workers > 1 the caches live in the "
+                                 "worker processes, so the parent's "
+                                 "counters only cover its own solves)")
+
+    stats_parser = subparsers.add_parser(
+        "cache-stats",
+        help="print the solver caches' hit/miss statistics")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="machine-readable JSON instead of a table")
 
     regimes_parser = subparsers.add_parser(
         "regimes", help="compare regulatory regimes at one capacity")
@@ -115,6 +135,32 @@ def build_parser() -> argparse.ArgumentParser:
     population_parser.add_argument("--utility-model", default="beta_correlated",
                                    choices=("beta_correlated", "independent"))
     return parser
+
+
+def format_cache_stats(stats: Optional[dict] = None, *,
+                       as_json: bool = False) -> str:
+    """Render ``repro.cache.all_cache_stats()`` as a table (or JSON).
+
+    Exposed for testing and for scripts that want the same rendering the
+    CLI uses.
+    """
+    if stats is None:
+        stats = all_cache_stats()
+    if as_json:
+        return json.dumps(stats, indent=2, sort_keys=True)
+    width = max([len(name) for name in stats] + [len("cache")])
+    header = (f"{'cache':<{width}} {'size':>8} {'maxsize':>8} {'hits':>10} "
+              f"{'misses':>10} {'hit_rate':>9}")
+    lines = [header, "-" * len(header)]
+    for name in sorted(stats):
+        entry = stats[name]
+        maxsize = entry.get("maxsize")
+        lines.append(
+            f"{name:<{width}} {entry['size']:>8} "
+            f"{(maxsize if maxsize is not None else 'inf'):>8} "
+            f"{entry['hits']:>10} {entry['misses']:>10} "
+            f"{entry['hit_rate']:>9.1%}")
+    return "\n".join(lines)
 
 
 def _warn_ignored(experiment_id: str, ignored: Sequence[str]) -> None:
@@ -176,9 +222,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
         if args.command == "run":
             print(_run_experiment(args))
+            if args.cache_stats:
+                print(format_cache_stats(), file=sys.stderr)
             return 0
         if args.command == "reproduce-all":
-            return _reproduce_all(args)
+            code = _reproduce_all(args)
+            if args.cache_stats:
+                print(format_cache_stats(), file=sys.stderr)
+            return code
+        if args.command == "cache-stats":
+            print(format_cache_stats(as_json=args.json))
+            return 0
         if args.command == "regimes":
             population = paper_population(count=args.count)
             comparison = compare_regimes(population, args.nu)

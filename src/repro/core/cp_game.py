@@ -38,6 +38,7 @@ from repro.network.allocation import (
 from repro.network.equilibrium import (
     RateEquilibrium,
     cached_class_cap,
+    cached_class_cap_for_mask,
     cached_subset_equilibrium,
     mechanism_cache_key,
 )
@@ -227,6 +228,9 @@ class CPPartitionGame:
         self._theta_hats = population.theta_hats
         self._alphas = population.alphas
         self._revenues = population.revenue_rates
+        #: Per-cap ``rho_i`` memo: the best-response loops re-evaluate the
+        #: same handful of caps while marginal CPs bounce between classes.
+        self._rho_cache: dict[float, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Class-level helpers
@@ -262,14 +266,41 @@ class CPPartitionGame:
             return math.inf
         return float(np.max(equilibrium.thetas))
 
+    def _class_cap_for_mask(self, mask: np.ndarray, count: int,
+                            class_nu: float) -> float:
+        """Mask-native twin of :meth:`_class_cap` for the best-response loops.
+
+        Identical result for identical membership; the boolean mask goes
+        straight into the packed-bitmask cache key, so no index tuples or
+        class ``Population`` objects are built per iteration.
+        """
+        if class_nu <= 0.0:
+            return 0.0
+        if count == 0:
+            return math.inf
+        if (self.throughput_estimator == "class_cap"
+                and isinstance(self.mechanism, CommonCapAllocation)):
+            return cached_class_cap_for_mask(self.population, mask, class_nu,
+                                             self.mechanism)
+        equilibrium = self._class_equilibrium(np.nonzero(mask)[0], class_nu)
+        if len(equilibrium.thetas) == 0:
+            return math.inf
+        return float(np.max(equilibrium.thetas))
+
     def _rho_at_cap(self, cap: float) -> np.ndarray:
         """Per-user-base throughput ``rho_i`` every CP expects at a class cap."""
-        if math.isinf(cap):
-            thetas = self._theta_hats.copy()
-        else:
-            thetas = np.minimum(self._theta_hats, cap)
-        demands = self.population.demands_at(thetas)
-        return demands * thetas
+        rho = self._rho_cache.get(cap)
+        if rho is None:
+            if math.isinf(cap):
+                thetas = self._theta_hats.copy()
+            else:
+                thetas = np.minimum(self._theta_hats, cap)
+            demands = self.population.demands_at(thetas)
+            rho = demands * thetas
+            if len(self._rho_cache) >= 256:
+                self._rho_cache.clear()
+            self._rho_cache[cap] = rho
+        return rho
 
     def _class_utilities(self, cap_ordinary: float, cap_premium: float
                          ) -> Tuple[np.ndarray, np.ndarray]:
@@ -312,6 +343,16 @@ class CPPartitionGame:
         """
         ordinary_utility, premium_utility = self._class_utilities(
             cap_ordinary, cap_premium)
+        return self._violators_from(mask, ordinary_utility, premium_utility)
+
+    def _violators_from(self, mask: np.ndarray, ordinary_utility: np.ndarray,
+                        premium_utility: np.ndarray) -> np.ndarray:
+        """:meth:`_violators` from precomputed class utilities.
+
+        The best-response loops need both the violator set and the utility
+        gap (for damping), so they evaluate :meth:`_class_utilities` once per
+        iteration and share the arrays between the two.
+        """
         scale = np.maximum(1.0e-12,
                            np.maximum(np.abs(ordinary_utility),
                                       np.abs(premium_utility)))
@@ -442,10 +483,15 @@ class CPPartitionGame:
         seen: dict[bytes, int] = {}
         iterations = 0
         for iterations in range(1, max_iterations + 1):
-            ordinary, premium = self._split(mask)
-            cap_ordinary = self._class_cap(ordinary, self.ordinary_nu)
-            cap_premium = self._class_cap(premium, self.premium_nu)
-            violators = self._violators(mask, cap_ordinary, cap_premium)
+            premium_count = int(np.count_nonzero(mask))
+            cap_ordinary = self._class_cap_for_mask(
+                ~mask, size - premium_count, self.ordinary_nu)
+            cap_premium = self._class_cap_for_mask(
+                mask, premium_count, self.premium_nu)
+            ordinary_utility, premium_utility = self._class_utilities(
+                cap_ordinary, cap_premium)
+            violators = self._violators_from(mask, ordinary_utility,
+                                             premium_utility)
             if not np.any(violators):
                 return self._build_outcome(mask, "competitive", True, iterations)
             # Damped tatonnement: switch only the half of the violators with
@@ -453,8 +499,6 @@ class CPPartitionGame:
             # overshoot (the premium class empties and refills), whereas the
             # damped update converges in a handful of rounds.
             violator_indices = np.nonzero(violators)[0]
-            ordinary_utility, premium_utility = self._class_utilities(
-                cap_ordinary, cap_premium)
             gains = np.abs(premium_utility - ordinary_utility)[violator_indices]
             keep = max(1, (len(violator_indices) + 1) // 2)
             movers = violator_indices[np.argsort(gains)[::-1][:keep]]
@@ -483,13 +527,18 @@ class CPPartitionGame:
         """
         moves = 0
         mask = mask.copy()
-        move_counts = np.zeros(len(mask), dtype=int)
+        size = len(mask)
+        move_counts = np.zeros(size, dtype=int)
         while moves < budget:
-            ordinary, premium = self._split(mask)
-            cap_ordinary = self._class_cap(ordinary, self.ordinary_nu)
-            cap_premium = self._class_cap(premium, self.premium_nu)
-            violators = np.nonzero(self._violators(mask, cap_ordinary,
-                                                   cap_premium))[0]
+            premium_count = int(np.count_nonzero(mask))
+            cap_ordinary = self._class_cap_for_mask(
+                ~mask, size - premium_count, self.ordinary_nu)
+            cap_premium = self._class_cap_for_mask(
+                mask, premium_count, self.premium_nu)
+            ordinary_utility, premium_utility = self._class_utilities(
+                cap_ordinary, cap_premium)
+            violators = np.nonzero(self._violators_from(
+                mask, ordinary_utility, premium_utility))[0]
             if len(violators) == 0:
                 return mask, True, moves
             eligible = violators[move_counts[violators] < 2]
@@ -497,8 +546,6 @@ class CPPartitionGame:
                 # Only bouncing marginal CPs remain: they sit inside the
                 # O(1/N) band of the throughput-taking approximation.
                 return mask, True, moves
-            ordinary_utility, premium_utility = self._class_utilities(
-                cap_ordinary, cap_premium)
             gains = np.abs(premium_utility - ordinary_utility)
             mover = eligible[int(np.argmax(gains[eligible]))]
             mask[mover] = ~mask[mover]

@@ -24,7 +24,12 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import ModelValidationError
 from repro.core.cp_game import PartitionOutcome
-from repro.core.migration import IspConfig, MarketSplit, solve_market_split
+from repro.core.migration import (
+    DEFAULT_MIN_SHARE,
+    IspConfig,
+    MarketSplit,
+    solve_market_split,
+)
 from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY
 from repro.network.allocation import RateAllocationMechanism
 from repro.network.provider import Population
@@ -170,10 +175,44 @@ class DuopolyGame:
         return [self.outcome(ISPStrategy(kappa, float(price)), opponent_strategy)
                 for price in prices]
 
+    def _warm_capacity_axis(self, strategy: ISPStrategy,
+                            nus: Sequence[float],
+                            opponent_strategy: ISPStrategy) -> None:
+        """Batch the capacity axis' deterministic migration probes.
+
+        The share bisection inside :func:`solve_market_split` always opens
+        with the two bracket probes ``share in {min_share, 1 - min_share}``,
+        and every all-ordinary side (``kappa = 0`` — the Public Option in
+        all the paper's experiments) resolves such a probe with the
+        *full-population* rate equilibrium at ``nu_isp = gamma nu / share``.
+        Those capacities are known for the whole grid up front, so one
+        vectorised multi-target bisection (:func:`solve_rate_equilibria`
+        via :func:`warm_equilibrium_cache`) seeds the equilibrium cache and
+        turns the per-point bracket solves into lookups.
+        """
+        # Imported lazily: ``repro.simulation`` imports the sweep layer,
+        # which imports this module — a top-level import would be circular.
+        from repro.simulation.batch import warm_equilibrium_cache
+
+        capacities = set()
+        for side_strategy, gamma in (
+                (strategy, self.strategic_capacity_share),
+                (opponent_strategy, 1.0 - self.strategic_capacity_share)):
+            if side_strategy.kappa != 0.0:
+                continue
+            for nu in nus:
+                for share in (DEFAULT_MIN_SHARE, 1.0 - DEFAULT_MIN_SHARE):
+                    capacities.add(gamma * float(nu) / share)
+        if capacities:
+            warm_equilibrium_cache(self.population, sorted(capacities),
+                                   self.mechanism)
+
     def capacity_sweep(self, strategy: ISPStrategy, nus: Iterable[float],
                        opponent_strategy: ISPStrategy = PUBLIC_OPTION_STRATEGY
                        ) -> List[DuopolyOutcome]:
         """Outcomes of a fixed strategy pair across total capacities (Figure 8)."""
+        nus = tuple(float(nu) for nu in nus)
+        self._warm_capacity_axis(strategy, nus, opponent_strategy)
         outcomes = []
         for nu in nus:
             game = DuopolyGame(self.population, float(nu),

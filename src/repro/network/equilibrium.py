@@ -47,6 +47,7 @@ __all__ = [
     "common_cap_profile",
     "cached_subset_equilibrium",
     "cached_class_cap",
+    "cached_class_cap_for_mask",
     "mechanism_cache_key",
     "default_equilibrium_cache",
     "frozen_equilibrium",
@@ -61,6 +62,14 @@ _CAP_WIDTH_TOLERANCE = 1e-14
 #: bisection exits as soon as the work-conservation equation is satisfied to
 #: this tolerance, instead of always burning the full iteration budget.
 _RESIDUAL_TOLERANCE = 1e-13
+#: Working-set bound (elements) of one vectorised ``carried`` evaluation.
+#: Above it the grid is evaluated in cap-chunks so peak memory stays flat in
+#: the grid size (the million-CP scaling sweep).  The bound is far above any
+#: grid the paper experiments solve (n=1000 populations with <100-point
+#: grids), so their float sequences — and the pinned goldens — are
+#: untouched: chunking changes only the pairwise-summation grouping, and
+#: only for workloads that could not run unchunked anyway.
+_CARRIED_BATCH_ELEMENTS = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -204,6 +213,71 @@ class CommonCapProfile:
         """Per-capita carried load at each cap in a 1-D vector."""
         raise NotImplementedError
 
+    def carried_scalar(self, cap: float) -> float:
+        """Carried load at a single cap.
+
+        The default delegates to the vector kernel with a one-element grid;
+        subclasses may provide a dispatch-free scalar path, which must be
+        bit-identical to the one-element vector evaluation.
+        """
+        return float(self.carried(np.array([cap]))[0])
+
+    def carried_at_upper(self) -> float:
+        """Carried load at the saturation cap, computed once per profile."""
+        cached = getattr(self, "_carried_at_upper", None)
+        if cached is None:
+            cached = float(self.carried(np.array([self.upper]))[0])
+            self._carried_at_upper = cached
+        return cached
+
+    def _carried_bounded(self, caps: np.ndarray) -> np.ndarray:
+        """``carried`` with the working set bounded for huge populations.
+
+        One tail evaluation touches ``len(caps) * size`` elements; past
+        :data:`_CARRIED_BATCH_ELEMENTS` the caps are processed in chunks so
+        a million-CP profile can bisect arbitrarily large capacity grids in
+        flat memory.
+        """
+        count = len(caps)
+        if self.size and count > 1 and count * self.size > _CARRIED_BATCH_ELEMENTS:
+            chunk = max(1, _CARRIED_BATCH_ELEMENTS // self.size)
+            return np.concatenate([self.carried(caps[start:start + chunk])
+                                   for start in range(0, count, chunk)])
+        return self.carried(caps)
+
+    def solve_cap(self, nu: float) -> float:
+        """Equilibrium cap at a single per-capita capacity (scalar path).
+
+        A dispatch-free mirror of :meth:`solve_caps` for one target: same
+        bracket, same stopping rules, same update order, evaluating
+        :meth:`carried_scalar` instead of a one-element vector — so the
+        returned float is bit-identical to ``solve_caps([nu])[0]``.
+        """
+        if self.size == 0:
+            return math.inf
+        if nu <= 0.0:
+            return 0.0
+        target = min(nu, self.unconstrained_load)
+        if (nu >= self.unconstrained_load - 1e-15
+                or self.carried_at_upper() <= target + 1e-15):
+            return math.inf
+        low = 0.0
+        high = self.upper
+        residual_tol = _RESIDUAL_TOLERANCE * max(1.0, target)
+        width_tol = _CAP_WIDTH_TOLERANCE * max(1.0, self.upper)
+        for _ in range(_BISECTION_ITERATIONS):
+            mid = 0.5 * (low + high)
+            value = self.carried_scalar(mid)
+            if abs(value - target) <= residual_tol:
+                return mid
+            if value < target:
+                low = mid
+            else:
+                high = mid
+            if high - low <= width_tol:
+                return high
+        return high
+
     def solve_caps(self, nus: np.ndarray) -> np.ndarray:
         """Equilibrium caps for a vector of per-capita capacities.
 
@@ -215,13 +289,17 @@ class CommonCapProfile:
         bracket width — falls below tolerance.
         """
         nus = np.asarray(nus, dtype=float)
+        if nus.ndim == 1 and nus.shape[0] == 1:
+            # Scalar fast path: one target needs no vector bookkeeping (and
+            # the game layers' best-response loops are all single-target).
+            return np.array([self.solve_cap(float(nus[0]))])
         caps = np.full(nus.shape, np.inf)
         if self.size == 0:
             return caps
         targets = np.minimum(nus, self.unconstrained_load)
         zero = nus <= 0.0
         caps[zero] = 0.0
-        carried_at_upper = float(self.carried(np.array([self.upper]))[0])
+        carried_at_upper = self.carried_at_upper()
         uncongested = (~zero) & (
             (nus >= self.unconstrained_load - 1e-15)
             | (carried_at_upper <= targets + 1e-15))
@@ -241,7 +319,7 @@ class CommonCapProfile:
             if len(open_indices) == 0:
                 break
             mid = 0.5 * (low[open_indices] + high[open_indices])
-            value = self.carried(mid)
+            value = self._carried_bounded(mid)
             hit = np.abs(value - target[open_indices]) <= residual_tol[open_indices]
             hit_indices = open_indices[hit]
             result[hit_indices] = mid[hit]
@@ -295,14 +373,78 @@ class ExponentialMaxMinProfile(CommonCapProfile):
     def __init__(self, alphas: np.ndarray, theta_hats: np.ndarray,
                  betas: np.ndarray) -> None:
         order = np.argsort(theta_hats, kind="stable")
-        self._theta_hats = np.ascontiguousarray(theta_hats[order])
-        self._alphas = np.ascontiguousarray(alphas[order])
-        self._betas = np.ascontiguousarray(betas[order])
+        self._init_sorted(np.ascontiguousarray(alphas[order]),
+                          np.ascontiguousarray(theta_hats[order]),
+                          np.ascontiguousarray(betas[order]))
+
+    @classmethod
+    def from_sorted(cls, alphas: np.ndarray, theta_hats: np.ndarray,
+                    betas: np.ndarray) -> "ExponentialMaxMinProfile":
+        """Profile from arrays already in stable ``theta_hat`` order.
+
+        Used by the subset-profile cache: filtering a parent population's
+        stable sort order by a class mask yields exactly the arrays the
+        constructor's own stable argsort would produce (subset indices are
+        ascending, so ties resolve identically), without re-sorting per
+        class.
+        """
+        self = object.__new__(cls)
+        self._init_sorted(np.ascontiguousarray(alphas),
+                          np.ascontiguousarray(theta_hats),
+                          np.ascontiguousarray(betas))
+        return self
+
+    def _init_sorted(self, alphas: np.ndarray, theta_hats: np.ndarray,
+                     betas: np.ndarray) -> None:
+        self._theta_hats = theta_hats
+        self._alphas = alphas
+        self._betas = betas
         self._prefix = np.concatenate(
             ([0.0], np.cumsum(self._alphas * self._theta_hats)))
         self.size = len(self._theta_hats)
         self.upper = float(self._theta_hats[-1]) if self.size else 0.0
         self.unconstrained_load = float(self._prefix[-1])
+        # Scalar-kernel scratch: ``-beta`` is precomputed (multiplying by the
+        # negated factor is bit-identical to negating the product) and the
+        # tail buffer is reused across the ~50 bisection evaluations of a
+        # ``solve_cap`` call, avoiding five allocations per evaluation.
+        self._neg_betas = -self._betas
+        self._scratch = np.empty(self.size)
+
+    def carried_at_upper(self) -> float:
+        # At the saturation cap every provider is saturated: searchsorted
+        # (side="right") counts all of them, the tail sum is empty, and the
+        # vector kernel returns exactly ``prefix[-1]``.
+        return self.unconstrained_load
+
+    def carried_scalar(self, cap: float) -> float:
+        """Scalar twin of :meth:`carried`, bit-identical per evaluation.
+
+        The one-element vector path reduces a ``(1, tail)`` row with the
+        same pairwise tree as this contiguous 1-D sum, its all-true mask
+        ``where`` is an identity, and the congestion tail (``theta > cap``)
+        cannot overflow ``exp`` (exponents are non-positive; underflow is
+        ignored by default), so no ``errstate`` guard is needed here.
+        """
+        if cap <= 0.0:
+            return 0.0
+        count = self._theta_hats.searchsorted(cap, side="right")
+        saturated = self._prefix[count]
+        if count == self.size:
+            return float(saturated)
+        # Same arithmetic as the expression form — ``theta/cap - 1`` then
+        # ``alpha * exp(-beta * congestion) * cap`` — evaluated through
+        # ``out=`` kernels into one contiguous buffer; ``np.add.reduce`` is
+        # the reduction ``ndarray.sum`` itself dispatches to, so the pairwise
+        # summation tree (and every bit of the result) is unchanged.
+        buffer = self._scratch[count:]
+        np.divide(self._theta_hats[count:], cap, out=buffer)
+        np.subtract(buffer, 1.0, out=buffer)
+        np.multiply(self._neg_betas[count:], buffer, out=buffer)
+        np.exp(buffer, out=buffer)
+        np.multiply(self._alphas[count:], buffer, out=buffer)
+        np.multiply(buffer, cap, out=buffer)
+        return float(saturated + np.add.reduce(buffer))
 
     def carried(self, caps: np.ndarray) -> np.ndarray:
         caps = np.asarray(caps, dtype=float)
@@ -436,6 +578,11 @@ def solve_rate_equilibrium(population: Population, nu: float,
 _DEFAULT_MECHANISM = MaxMinFairAllocation()
 _EQUILIBRIUM_CACHE = LRUCache(maxsize=2048, name="equilibria")
 _CLASS_CAP_CACHE = LRUCache(maxsize=16384, name="class_caps")
+#: Per-class sorted-prefix profiles (max-min + exponential fast path).  One
+#: profile serves *every* capacity the class is solved at — the capacity
+#: axis of the duopoly/migration best-response loops re-bisects the same
+#: class at many ``nu`` values, and the profile is the nu-independent part.
+_PROFILE_CACHE = LRUCache(maxsize=1024, name="maxmin_profiles")
 
 
 def default_equilibrium_cache() -> LRUCache:
@@ -480,6 +627,16 @@ def _indices_key(population: Population,
     return normalized
 
 
+def _subset_mask(population: Population,
+                 subset_key: Optional[tuple]) -> Optional[np.ndarray]:
+    """Boolean membership mask of a class (``None`` = full population)."""
+    if subset_key is None:
+        return None
+    mask = np.zeros(len(population), dtype=bool)
+    mask[list(subset_key)] = True
+    return mask
+
+
 def _subset_cache_key(population: Population,
                       subset_key: Optional[tuple]) -> Optional[bytes]:
     """Compact, exact cache representation of a class's index set.
@@ -489,11 +646,40 @@ def _subset_cache_key(population: Population,
     masks per sweep, so the key size — not the cached float — dominates the
     class-cap cache's memory footprint.
     """
-    if subset_key is None:
+    mask = _subset_mask(population, subset_key)
+    if mask is None:
         return None
-    mask = np.zeros(len(population), dtype=bool)
-    mask[list(subset_key)] = True
     return np.packbits(mask).tobytes()
+
+
+def _maxmin_order(population: Population) -> np.ndarray:
+    """Stable ``theta_hat`` sort order of the population, cached on it."""
+    order = getattr(population, "_maxmin_order_cache", None)
+    if order is None:
+        order = np.argsort(population.theta_hats, kind="stable")
+        order.flags.writeable = False
+        population._maxmin_order_cache = order  # type: ignore[attr-defined]
+    return order
+
+
+def _subset_profile(population: Population, mask: np.ndarray,
+                    mask_bytes: bytes) -> ExponentialMaxMinProfile:
+    """Cached sorted-prefix profile of one service class.
+
+    Requires ``population.exponential_parameters`` to be non-``None``.  The
+    class's sorted arrays are obtained by filtering the parent's cached
+    stable sort order with the membership mask — identical floats, in the
+    identical order, to stable-argsorting the subset itself.
+    """
+    def build() -> ExponentialMaxMinProfile:
+        theta_hats, betas = population.exponential_parameters
+        order = _maxmin_order(population)
+        sub_order = order[mask[order]]
+        return ExponentialMaxMinProfile.from_sorted(
+            population.alphas[sub_order], theta_hats[sub_order],
+            betas[sub_order])
+
+    return _PROFILE_CACHE.get_or_compute((population, mask_bytes), build)
 
 
 def cached_subset_equilibrium(population: Population,
@@ -531,32 +717,49 @@ def cached_class_cap(population: Population,
                      cache: Optional[LRUCache] = None) -> float:
     """Equilibrium common throughput cap of a service class, memoised.
 
-    For the paper's workload (max-min fairness, exponential demand) the cap
-    is solved directly from array slices of the parent population — no
-    ``Population`` object is materialised for the class, which is what makes
-    the CP-game best-response inner loop cheap.  The value equals
-    ``cached_subset_equilibrium(...).common_cap`` exactly (both run the same
-    bisection kernel on the same floats).
+    Index-sequence convenience wrapper around
+    :func:`cached_class_cap_for_mask`; both share the same cache entries
+    (the key is the packed membership bitmask either way).
+    """
+    subset_key = _indices_key(population, indices)
+    return cached_class_cap_for_mask(population,
+                                     _subset_mask(population, subset_key),
+                                     nu, mechanism, cache)
+
+
+def cached_class_cap_for_mask(population: Population,
+                              mask: Optional[np.ndarray],
+                              nu: float,
+                              mechanism: Optional[RateAllocationMechanism] = None,
+                              cache: Optional[LRUCache] = None) -> float:
+    """Class cap memoised by boolean membership mask (the hot-loop form).
+
+    ``mask`` is a boolean array over the parent population (``None`` — or an
+    all-true mask — means the full population).  For the paper's workload
+    (max-min fairness, exponential demand) the cap is bisected on the
+    class's cached sorted-prefix profile, built from column views of the
+    parent — no ``Population`` object, index tuple or argsort per call,
+    which is what makes the CP-game best-response inner loop cheap.  The
+    value equals ``cached_subset_equilibrium(...).common_cap`` exactly
+    (both run the same bisection kernel on the same floats).
     """
     mechanism = mechanism if mechanism is not None else _DEFAULT_MECHANISM
     cache = _CLASS_CAP_CACHE if cache is None else cache
-    subset_key = _indices_key(population, indices)
-    key = (population, _subset_cache_key(population, subset_key), float(nu),
-           mechanism_cache_key(mechanism))
+    if mask is not None and mask.all():
+        mask = None
+    mask_bytes = None if mask is None else np.packbits(mask).tobytes()
+    key = (population, mask_bytes, float(nu), mechanism_cache_key(mechanism))
 
     def solve() -> float:
         parameters = population.exponential_parameters
         if type(mechanism) is MaxMinFairAllocation and parameters is not None:
-            if subset_key is None:
+            if mask is None:
                 profile = common_cap_profile(population, mechanism)
             else:
-                theta_hats, betas = parameters
-                index_array = np.array(subset_key, dtype=np.intp)
-                profile = ExponentialMaxMinProfile(
-                    population.alphas[index_array], theta_hats[index_array],
-                    betas[index_array])
-            return float(profile.solve_caps(np.array([nu]))[0])
-        return float(cached_subset_equilibrium(population, subset_key, nu,
+                profile = _subset_profile(population, mask, mask_bytes)
+            return profile.solve_cap(float(nu))
+        indices = None if mask is None else np.nonzero(mask)[0]
+        return float(cached_subset_equilibrium(population, indices, nu,
                                                mechanism).common_cap)
 
     return cache.get_or_compute(key, solve)  # type: ignore[return-value]
@@ -573,6 +776,7 @@ def equilibrium_cache_stats() -> dict:
 
 
 def clear_equilibrium_caches() -> None:
-    """Drop every cached equilibrium and class cap (frees the memory)."""
+    """Drop every cached equilibrium, class cap and profile (frees memory)."""
     _EQUILIBRIUM_CACHE.clear()
     _CLASS_CAP_CACHE.clear()
+    _PROFILE_CACHE.clear()

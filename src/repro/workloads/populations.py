@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ModelValidationError
-from repro.network.provider import ContentProvider, Population
+from repro.network.provider import Population
 from repro.workloads.utility import beta_correlated_utilities, independent_utilities
 
 __all__ = ["PopulationSpec", "random_population", "paper_population"]
@@ -107,18 +107,12 @@ def random_population(spec: PopulationSpec = PopulationSpec(), *,
     else:
         utilities = independent_utilities(count, scale=spec.utility_scale,
                                           rng=generator)
-    providers = [
-        ContentProvider(
-            name=f"{name_prefix}-{index:04d}",
-            alpha=float(alphas[index]),
-            theta_hat=float(theta_hats[index]),
-            beta=float(betas[index]),
-            revenue_rate=float(revenues[index]),
-            utility_rate=float(utilities[index]),
-        )
-        for index in range(count)
-    ]
-    return Population(providers)
+    # Columnar construction: the draws feed the structure-of-arrays backing
+    # store directly, so a million-CP population never materialises per-CP
+    # objects (names are generated lazily from the prefix).
+    return Population.from_columns(
+        alphas, theta_hats, betas=betas, revenue_rates=revenues,
+        utility_rates=utilities, name_prefix=name_prefix)
 
 
 def paper_population(count: int = 1000, utility_model: str = "beta_correlated",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ModelValidationError
+from repro.core.duopoly import DuopolyGame
 from repro.core.oligopoly import OligopolyGame
 from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY, strategy_grid
 
@@ -107,6 +108,99 @@ class TestBestResponse:
         scale = max(abs(phi_outcome.consumer_surplus), 1e-9)
         shortfall = phi_outcome.consumer_surplus - share_outcome.consumer_surplus
         assert shortfall <= 0.10 * scale
+
+
+class TestAgainstDuopolySolver:
+    """At N=2 the oligopoly game must agree exactly with ``DuopolyGame``.
+
+    Both front-ends drive the identical ``solve_market_split`` bisection
+    (same ISP order, same tolerances), so the agreement is exact equality,
+    not approximate.
+    """
+
+    @pytest.mark.parametrize("strategy", [ISPStrategy(1.0, 0.3),
+                                          ISPStrategy(0.6, 0.1),
+                                          PUBLIC_OPTION_STRATEGY])
+    def test_two_provider_outcomes_pin_to_duopoly(self, small_random_population,
+                                                  strategy):
+        duopoly = DuopolyGame(small_random_population, total_nu=4.0,
+                              strategic_capacity_share=0.5)
+        oligopoly = OligopolyGame(
+            small_random_population, total_nu=4.0,
+            capacity_shares={"ISP-I": 0.5, "ISP-J": 0.5},
+            migration_tolerance=duopoly.migration_tolerance,
+            migration_iterations=duopoly.migration_iterations)
+        expected = duopoly.outcome(strategy)
+        actual = oligopoly.outcome({"ISP-I": strategy,
+                                    "ISP-J": PUBLIC_OPTION_STRATEGY})
+        assert actual.market_share("ISP-I") == expected.market_share
+        assert actual.market_share("ISP-J") == expected.other_market_share
+        assert actual.consumer_surplus == expected.consumer_surplus
+        assert actual.isp_surplus("ISP-I") == expected.isp_surplus
+        assert actual.isp_surplus("ISP-J") == expected.other_isp_surplus
+        assert actual.split.common_surplus == expected.split.common_surplus
+
+    def test_asymmetric_capacity_share_pins_too(self, small_random_population):
+        duopoly = DuopolyGame(small_random_population, total_nu=3.0,
+                              strategic_capacity_share=0.7)
+        oligopoly = OligopolyGame(
+            small_random_population, total_nu=3.0,
+            capacity_shares={"ISP-I": 0.7, "ISP-J": 0.3},
+            migration_tolerance=duopoly.migration_tolerance,
+            migration_iterations=duopoly.migration_iterations)
+        strategy = ISPStrategy(1.0, 0.4)
+        expected = duopoly.outcome(strategy)
+        actual = oligopoly.outcome({"ISP-I": strategy,
+                                    "ISP-J": PUBLIC_OPTION_STRATEGY})
+        assert actual.market_shares == expected.split.shares
+        assert actual.consumer_surplus == expected.consumer_surplus
+
+
+class TestMultiProviderInvariants:
+    """Share/surplus invariants on the 3- and 4-ISP tatonnement path."""
+
+    @pytest.mark.parametrize("capacity_shares", [
+        {"a": 0.5, "b": 0.3, "c": 0.2},
+        {"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1},
+    ])
+    def test_share_and_surplus_invariants(self, small_random_population,
+                                          capacity_shares):
+        game = OligopolyGame(small_random_population, total_nu=4.0,
+                             capacity_shares=capacity_shares,
+                             migration_iterations=200)
+        strategies = {name: (ISPStrategy(1.0, 0.3) if name == "a"
+                             else PUBLIC_OPTION_STRATEGY)
+                      for name in capacity_shares}
+        outcome = game.outcome(strategies)
+        shares = outcome.market_shares
+        assert set(shares) == set(capacity_shares)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(share >= 0.0 for share in shares.values())
+        # Public Option ISPs sell no premium class: zero ISP surplus.
+        for name in capacity_shares:
+            if strategies[name] is PUBLIC_OPTION_STRATEGY:
+                assert outcome.isp_surplus(name) == 0.0
+            else:
+                assert outcome.isp_surplus(name) >= 0.0
+        # The aggregate surplus is the share-weighted mean of per-ISP levels.
+        weighted = sum(shares[name] * outcome.split.surpluses[name]
+                       for name in shares)
+        assert outcome.consumer_surplus == pytest.approx(weighted, rel=1e-12)
+        assert outcome.consumer_surplus >= 0.0
+
+    @pytest.mark.parametrize("count", [3, 4])
+    def test_homogeneous_profile_tracks_capacity_shares(
+            self, small_random_population, count):
+        names = [f"isp{i}" for i in range(count)]
+        capacity_shares = {name: 1.0 / count for name in names}
+        game = OligopolyGame(small_random_population, total_nu=4.0,
+                             capacity_shares=capacity_shares,
+                             migration_iterations=200)
+        outcome = game.homogeneous_outcome(ISPStrategy(1.0, 0.3))
+        # Lemma 4: under homogeneous strategies the capacity-proportional
+        # split equalises surplus, so the solver should stay close to it.
+        assert outcome.share_capacity_gap <= 0.05
+        assert sum(outcome.market_shares.values()) == pytest.approx(1.0)
 
 
 class TestNashSearch:

@@ -193,3 +193,115 @@ class TestVectorisedDemand:
         demands = population.demands_at(np.array([1.0, 1.0]))
         assert demands[0] == pytest.approx(0.5)
         assert demands[1] == pytest.approx(np.exp(-1.0))
+
+
+class TestColumnarPopulation:
+    """The structure-of-arrays backing store and its view semantics."""
+
+    def columns(self):
+        alphas = np.array([0.5, 0.9, 0.2])
+        theta_hats = np.array([2.0, 1.0, 3.0])
+        betas = np.array([1.0, 0.0, 4.0])
+        revenues = np.array([0.4, 0.8, 0.1])
+        utilities = np.array([1.5, 0.5, 2.5])
+        return alphas, theta_hats, betas, revenues, utilities
+
+    def test_from_columns_equals_object_construction(self):
+        alphas, theta_hats, betas, revenues, utilities = self.columns()
+        columnar = Population.from_columns(
+            alphas, theta_hats, betas=betas, revenue_rates=revenues,
+            utility_rates=utilities, names=("a", "b", "c"))
+        objectful = Population([
+            ContentProvider(name=name, alpha=alphas[i], theta_hat=theta_hats[i],
+                            beta=betas[i], revenue_rate=revenues[i],
+                            utility_rate=utilities[i])
+            for i, name in enumerate(("a", "b", "c"))
+        ])
+        assert columnar == objectful
+        assert hash(columnar) == hash(objectful)
+        assert columnar.fingerprint() == objectful.fingerprint()
+
+    def test_from_columns_defaults(self):
+        population = Population.from_columns([0.5, 0.6], [1.0, 2.0])
+        np.testing.assert_array_equal(population.betas, [1.0, 1.0])
+        np.testing.assert_array_equal(population.revenue_rates, [0.0, 0.0])
+        np.testing.assert_array_equal(population.utility_rates, [0.0, 0.0])
+
+    def test_from_columns_does_not_alias_caller_arrays(self):
+        alphas = np.array([0.5, 0.6])
+        population = Population.from_columns(alphas, [1.0, 2.0])
+        alphas[0] = 0.9
+        assert population.alphas[0] == 0.5
+        with pytest.raises(ValueError):
+            population.alphas[0] = 0.7  # read-only view
+
+    @pytest.mark.parametrize("kwargs", [
+        {"alphas": [0.0, 0.5], "theta_hats": [1.0, 1.0]},   # alpha not in (0,1]
+        {"alphas": [1.5, 0.5], "theta_hats": [1.0, 1.0]},
+        {"alphas": [0.5, 0.5], "theta_hats": [0.0, 1.0]},   # theta not positive
+        {"alphas": [0.5, 0.5], "theta_hats": [1.0, np.inf]},
+        {"alphas": [0.5], "theta_hats": [1.0, 1.0]},        # length mismatch
+    ])
+    def test_from_columns_validation(self, kwargs):
+        with pytest.raises(ModelValidationError):
+            Population.from_columns(**kwargs)
+
+    def test_lazy_names_from_prefix(self):
+        population = Population.from_columns([0.5, 0.6], [1.0, 2.0],
+                                             name_prefix="prov")
+        assert population.names == ("prov-0000", "prov-0001")
+        assert population[1].name == "prov-0001"
+        assert population.index_of("prov-0000") == 0
+
+    def test_provider_view_identity_is_cached(self):
+        population = Population.from_columns([0.5, 0.6], [1.0, 2.0])
+        assert population[0] is population[0]
+        assert isinstance(population[0], ContentProvider)
+
+    def test_fingerprint_tracks_column_values_not_names(self):
+        base = Population.from_columns([0.5, 0.6], [1.0, 2.0])
+        renamed = Population.from_columns([0.5, 0.6], [1.0, 2.0],
+                                          names=("x", "y"))
+        perturbed = Population.from_columns([0.5, 0.6], [1.0, 2.000001])
+        # Hash/fingerprint key the solver caches: value-based over columns.
+        assert renamed.fingerprint() == base.fingerprint()
+        assert hash(renamed) == hash(base)
+        assert perturbed.fingerprint() != base.fingerprint()
+        # Equality still distinguishes names (it is the stricter relation).
+        assert renamed != base
+        assert base == Population.from_columns([0.5, 0.6], [1.0, 2.0])
+
+    def test_subset_view_matches_object_subset(self):
+        alphas, theta_hats, betas, revenues, utilities = self.columns()
+        columnar = Population.from_columns(
+            alphas, theta_hats, betas=betas, revenue_rates=revenues,
+            utility_rates=utilities, names=("a", "b", "c"))
+        view = columnar.subset([2, 0])
+        rebuilt = Population([columnar[0], columnar[2]])
+        assert view == rebuilt
+        assert view.names == ("a", "c")
+        np.testing.assert_array_equal(view.alphas, [0.5, 0.2])
+
+    def test_sorted_by_revenue_view(self):
+        alphas, theta_hats, betas, revenues, utilities = self.columns()
+        population = Population.from_columns(
+            alphas, theta_hats, betas=betas, revenue_rates=revenues,
+            utility_rates=utilities)
+        ordered = population.sorted_by_revenue()
+        assert list(ordered.revenue_rates) == sorted(revenues, reverse=True)
+
+    def test_with_utility_rates_shares_columns(self):
+        population = Population.from_columns([0.5, 0.6], [1.0, 2.0])
+        updated = population.with_utility_rates([3.0, 4.0])
+        assert updated.alphas is population.alphas
+        np.testing.assert_array_equal(updated.utility_rates, [3.0, 4.0])
+        assert updated != population
+
+    def test_exponential_parameters_straight_from_columns(self):
+        population = Population.from_columns([0.5, 0.6], [1.0, 2.0],
+                                             betas=[0.5, 3.0])
+        parameters = population.exponential_parameters
+        assert parameters is not None
+        theta_hats, betas = parameters
+        assert theta_hats is population.theta_hats
+        assert betas is population.betas

@@ -395,3 +395,136 @@ class TestCpGameCacheEquivalence:
         assert warm.market_share == cold.market_share
         assert warm.consumer_surplus == cold.consumer_surplus
         assert warm.isp_surplus == cold.isp_surplus
+
+
+class TestCapacityAxisBatching:
+    """Columnar profile kernel: scalar ``solve_cap`` vs batched ``solve_caps``,
+    mask-keyed class caps, chunked carried evaluation, and the capacity
+    sweep's bracket warming — all must agree with the scalar path."""
+
+    def setup_method(self):
+        clear_all_caches()
+
+    def test_solve_cap_matches_one_element_solve_caps_exactly(self):
+        from repro.network.equilibrium import common_cap_profile
+
+        population = exponential_population()
+        profile = common_cap_profile(population, MaxMinFairAllocation())
+        load = population.unconstrained_per_capita_load
+        for nu in (0.0, 1e-9, 0.05 * load, 0.5 * load, load, 2.0 * load):
+            vector = float(profile.solve_caps(np.array([nu]))[0])
+            scalar = profile.solve_cap(nu)
+            # Same bisection, same carried kernel: exact equality.
+            assert scalar == vector or (np.isinf(scalar) and np.isinf(vector))
+
+    @given(count=st.integers(min_value=1, max_value=40),
+           seed=st.integers(min_value=0, max_value=10_000),
+           fractions=st.lists(st.floats(min_value=0.0, max_value=2.0),
+                              min_size=2, max_size=8))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_grid_solve_matches_scalar(self, count, seed, fractions):
+        from repro.network.equilibrium import common_cap_profile
+
+        population = random_population(PopulationSpec(count=count), seed=seed)
+        profile = common_cap_profile(population, MaxMinFairAllocation())
+        load = population.unconstrained_per_capita_load
+        nus = np.array([fraction * load for fraction in fractions])
+        grid = profile.solve_caps(nus)
+        for nu, cap in zip(nus, grid):
+            scalar = profile.solve_cap(float(nu))
+            if np.isinf(scalar) or np.isinf(cap):
+                assert np.isinf(scalar) and np.isinf(cap)
+            else:
+                assert abs(scalar - cap) <= TOL
+
+    def test_class_cap_for_mask_matches_index_form_exactly(self):
+        from repro.network.equilibrium import (
+            cached_class_cap_for_mask,
+            clear_equilibrium_caches,
+        )
+
+        population = exponential_population()
+        load = population.unconstrained_per_capita_load
+        rng = np.random.default_rng(3)
+        for nu in (0.1 * load, 0.6 * load):
+            for _ in range(4):
+                mask = rng.random(len(population)) < 0.5
+                if not mask.any():
+                    mask[0] = True
+                indices = tuple(int(i) for i in np.nonzero(mask)[0])
+                by_mask = cached_class_cap_for_mask(population, mask, nu)
+                clear_equilibrium_caches()
+                by_indices = cached_class_cap(population, indices, nu)
+                assert by_mask == by_indices or (
+                    np.isinf(by_mask) and np.isinf(by_indices))
+
+    def test_mask_and_index_forms_share_cache_entries(self):
+        from repro.network.equilibrium import cached_class_cap_for_mask
+        from repro.cache import all_cache_stats
+
+        population = exponential_population()
+        nu = 0.3 * population.unconstrained_per_capita_load
+        mask = np.zeros(len(population), dtype=bool)
+        mask[::2] = True
+        cached_class_cap_for_mask(population, mask, nu)
+        before = all_cache_stats()["class_caps"]["misses"]
+        cached_class_cap(population,
+                         tuple(int(i) for i in np.nonzero(mask)[0]), nu)
+        after = all_cache_stats()["class_caps"]
+        assert after["misses"] == before  # hit on the packed-bitmask key
+
+    def test_subset_profile_matches_constructor_exactly(self):
+        from repro.network.equilibrium import ExponentialMaxMinProfile
+
+        population = exponential_population()
+        theta_hats, betas = population.exponential_parameters
+        rng = np.random.default_rng(11)
+        mask = rng.random(len(population)) < 0.4
+        mask[0] = True
+        direct = ExponentialMaxMinProfile(
+            population.alphas[mask], theta_hats[mask], betas[mask])
+        order = np.argsort(theta_hats, kind="stable")
+        sub_order = order[mask[order]]
+        filtered = ExponentialMaxMinProfile.from_sorted(
+            population.alphas[sub_order], theta_hats[sub_order],
+            betas[sub_order])
+        caps = np.array([0.1, 0.3, 0.7, 1.5]) * direct.upper
+        for cap in caps:
+            assert direct.carried_scalar(float(cap)) == \
+                filtered.carried_scalar(float(cap))
+        load = direct.unconstrained_load
+        for nu in (0.2 * load, 0.8 * load):
+            assert direct.solve_cap(nu) == filtered.solve_cap(nu)
+
+    def test_chunked_carried_matches_unchunked(self, monkeypatch):
+        from repro.network import equilibrium
+
+        population = exponential_population()
+        profile = equilibrium.common_cap_profile(population,
+                                                 MaxMinFairAllocation())
+        caps = np.linspace(0.0, 1.2 * profile.upper, 37)
+        unchunked = profile.carried(caps)
+        # Force the element bound low enough that every call chunks.
+        monkeypatch.setattr(equilibrium, "_CARRIED_BATCH_ELEMENTS",
+                            4 * len(population))
+        chunked = profile._carried_bounded(caps)
+        # Chunk boundaries change the tail zero-padding and therefore the
+        # pairwise-summation grouping, so agreement is at the engine's
+        # batch-vs-scalar tolerance, not bit-exact.
+        np.testing.assert_allclose(chunked, unchunked, rtol=0.0, atol=TOL)
+
+    def test_capacity_sweep_warming_matches_per_point_outcomes(self):
+        population = random_population(PopulationSpec(count=50), seed=9)
+        load = population.unconstrained_per_capita_load
+        nus = (0.3 * load, 0.6 * load, 1.1 * load)
+        strategy = ISPStrategy(1.0, 0.3)
+        game = DuopolyGame(population, nus[0], 0.5)
+        clear_all_caches()
+        swept = game.capacity_sweep(strategy, nus)
+        clear_all_caches()
+        for nu, warm in zip(nus, swept):
+            cold = DuopolyGame(population, nu, 0.5).outcome(strategy)
+            assert abs(warm.market_share - cold.market_share) <= TOL
+            assert abs(warm.consumer_surplus - cold.consumer_surplus) <= TOL
+            assert abs(warm.isp_surplus - cold.isp_surplus) <= TOL

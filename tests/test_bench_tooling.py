@@ -74,6 +74,36 @@ class TestBenchCompare:
         assert "baseline-only" in result.stdout
         assert "new" in result.stdout
 
+    def test_require_baseline_fails_on_missing_benchmark(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_old": 5.0, "bench_both": 1.0})
+        write_summary(current, {"bench_both": 1.0})
+        result = run_compare(str(baseline), str(current), "--require-baseline")
+        # Distinct exit code: coverage loss, not a timing regression.
+        assert result.returncode == 3
+        assert "bench_old" in result.stderr
+
+    def test_require_baseline_passes_when_all_present(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_both": 1.0})
+        # Extra benchmarks in the current run are fine under the flag.
+        write_summary(current, {"bench_both": 1.0, "bench_new": 2.0})
+        result = run_compare(str(baseline), str(current), "--require-baseline")
+        assert result.returncode == 0, result.stderr
+
+    def test_regression_exit_code_takes_precedence(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_old": 5.0, "bench_both": 1.0})
+        write_summary(current, {"bench_both": 3.0})
+        result = run_compare(str(baseline), str(current), "--require-baseline")
+        # Both failures apply; the timing regression (exit 1) wins so CI
+        # logs point at the slowdown first.
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
     def test_accepts_flat_mapping_schema(self, tmp_path):
         baseline = tmp_path / "base.json"
         current = tmp_path / "cur.json"

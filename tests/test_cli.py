@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENT_REGISTRY, build_parser, main
+from repro.cache import clear_all_caches
+from repro.cli import (
+    EXPERIMENT_REGISTRY,
+    build_parser,
+    format_cache_stats,
+    main,
+)
 from repro.runner.registry import experiment_ids
 
 
@@ -84,6 +90,43 @@ class TestMain:
         output = capsys.readouterr().out
         assert "count" in output
         assert "unconstrained_per_capita_load" in output
+
+
+class TestCacheStats:
+    def test_cache_stats_command_lists_solver_caches(self, capsys):
+        assert main(["cache-stats"]) == 0
+        output = capsys.readouterr().out
+        for name in ("equilibria", "class_caps", "maxmin_profiles",
+                     "partition_outcomes"):
+            assert name in output
+        assert "hit_rate" in output
+
+    def test_cache_stats_json_is_machine_readable(self, capsys):
+        assert main(["cache-stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "equilibria" in payload
+        assert {"size", "maxsize", "hits", "misses", "hit_rate"} \
+            <= set(payload["equilibria"])
+
+    def test_run_cache_stats_flag_reports_solver_activity(self, capsys):
+        clear_all_caches()
+        assert main(["run", "THM4", "--scale", "smoke", "--cache-stats"]) == 0
+        captured = capsys.readouterr()
+        # The report goes to stdout, the counters to stderr.
+        assert "equilibria" in captured.err
+        assert "equilibria" not in captured.out
+
+    def test_reproduce_all_cache_stats_flag(self, tmp_path, capsys):
+        assert main(["reproduce-all", "--scale", "smoke", "--only", "THM4",
+                     "--output", str(tmp_path), "--cache-stats"]) == 0
+        assert "class_caps" in capsys.readouterr().err
+
+    def test_format_cache_stats_renders_given_mapping(self):
+        stats = {"demo": {"size": 1, "maxsize": None, "hits": 3,
+                          "misses": 1, "hit_rate": 0.75}}
+        table = format_cache_stats(stats)
+        assert "demo" in table and "75.0%" in table and "inf" in table
+        assert json.loads(format_cache_stats(stats, as_json=True)) == stats
 
 
 class TestIgnoredFlagWarnings:
