@@ -24,6 +24,7 @@ Quickstart::
     print(outcome.isp_surplus, outcome.consumer_surplus)
 """
 
+from repro.backends import SolverConfig, use_config
 from repro.errors import (
     AxiomViolationError,
     ConvergenceError,
@@ -80,6 +81,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # solver configuration
+    "SolverConfig",
+    "use_config",
     # errors
     "ReproError",
     "ModelValidationError",

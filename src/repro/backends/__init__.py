@@ -1,0 +1,38 @@
+"""Pluggable solver backends and the unified :class:`SolverConfig`.
+
+``repro.backends`` owns the kernel-backend protocol (`KernelBackend`), the
+two shipped backends (``reference`` — the exact numpy implementation the
+profile classes used before this package existed — and the optional
+njit-compiled ``numba`` backend), the name registry, and the frozen
+:class:`SolverConfig` value object that threads backend choice, solver
+tolerances and cache policy through every layer of the stack.
+"""
+
+from repro.backends.base import KernelBackend
+from repro.backends.config import (BACKEND_ENV_VAR, SolverConfig,
+                                   active_config, default_config,
+                                   resolve_config, use_config)
+from repro.backends.numba_backend import (NumbaBackend, load_numba_backend,
+                                          numba_available, numba_version)
+from repro.backends.reference import ReferenceBackend, reference_backend
+from repro.backends.registry import (BACKEND_NAMES, available_backends,
+                                     get_backend)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "NumbaBackend",
+    "ReferenceBackend",
+    "SolverConfig",
+    "active_config",
+    "available_backends",
+    "default_config",
+    "get_backend",
+    "load_numba_backend",
+    "numba_available",
+    "numba_version",
+    "reference_backend",
+    "resolve_config",
+    "use_config",
+]

@@ -1,0 +1,76 @@
+"""The kernel-backend protocol of the solver stack.
+
+A :class:`KernelBackend` supplies the three numerical primitives behind the
+Theorem-1 bisection on the sorted-``theta_hat`` prefix structure of
+:class:`repro.network.equilibrium.ExponentialMaxMinProfile`:
+
+* the **carried-load tail pass** (:meth:`KernelBackend.carried_scalar`) —
+  the work-conservation LHS at one throughput cap: prefix lookup for the
+  saturated providers plus the exponential-demand tail of Equation (3);
+* the **prefix evaluation** (:meth:`KernelBackend.carried_grid`) — the same
+  quantity at a whole vector of caps, used by each iteration of the
+  vectorised multi-target bisection;
+* optionally a **fused scalar bisection** (``bisect_scalar``) — the entire
+  multi-iteration bisection of one capacity target in a single kernel call,
+  mirroring ``CommonCapProfile.solve_cap``'s bracket and stopping rules.
+
+Backends receive the profile object itself and read its sorted column
+arrays (``_theta_hats``, ``_alphas``, ``_betas``, ``_neg_betas``,
+``_prefix``, ``_scratch``); the profile is immutable after construction, so
+a backend may precompute or reuse whatever it likes per call.
+
+The ``reference`` backend is the numpy implementation that previously lived
+inside the profile class and is bit-identical to it; the optional ``numba``
+backend JIT-compiles the same arithmetic (agreeing to well below ``1e-10``)
+and degrades gracefully to reference when numba is not installed.  Select a
+backend with :class:`repro.backends.SolverConfig` or the ``REPRO_BACKEND``
+environment variable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.network.equilibrium import ExponentialMaxMinProfile
+
+__all__ = ["KernelBackend"]
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Numerical kernels for the max-min + exponential-demand profile.
+
+    Implementations must be pure functions of the profile's arrays and the
+    cap argument(s): two backends may differ in summation order (and hence
+    in the last float bits) but must agree to ``<= 1e-10`` relative — the
+    property-test suite in ``tests/backends`` asserts this.
+    """
+
+    #: Stable backend identifier used in cache keys and solver provenance.
+    name: str
+
+    #: Fused scalar bisection, or ``None`` when the backend has no fused
+    #: path (the profile then runs the generic ``solve_cap`` loop over
+    #: :meth:`carried_scalar`).  Signature when present::
+    #:
+    #:     bisect_scalar(profile, target, iterations,
+    #:                   residual_tolerance, width_tolerance) -> float
+    #:
+    #: with the same bracket ``[0, profile.upper]``, the same mid-point
+    #: update order and the same residual/width stopping rules as
+    #: ``CommonCapProfile.solve_cap`` (guards for empty/uncongested/zero
+    #: targets are handled by the caller).
+    bisect_scalar: Optional[object]
+
+    def carried_scalar(self, profile: "ExponentialMaxMinProfile",
+                       cap: float) -> float:
+        """Per-capita carried load at a single throughput cap."""
+        ...
+
+    def carried_grid(self, profile: "ExponentialMaxMinProfile",
+                     caps: np.ndarray) -> np.ndarray:
+        """Per-capita carried load at each cap of a 1-D float vector."""
+        ...

@@ -1,0 +1,59 @@
+"""Backend registry: name → :class:`KernelBackend` resolution.
+
+``get_backend("numba")`` degrades gracefully: when numba is not installed
+it warns once per process and returns the reference backend, so a config
+or ``REPRO_BACKEND=numba`` written for an accelerated machine still runs
+(and still produces correct results) everywhere else.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List
+
+from repro.backends.numba_backend import load_numba_backend
+from repro.backends.reference import reference_backend
+from repro.errors import ModelValidationError
+
+__all__ = ["BACKEND_NAMES", "available_backends", "get_backend"]
+
+#: Names accepted by ``SolverConfig.backend`` / ``REPRO_BACKEND``.
+BACKEND_NAMES = ("reference", "numba")
+
+_WARNED_NUMBA_FALLBACK = False
+
+
+def get_backend(name: str = "reference"):
+    """Resolve a backend name to a live :class:`KernelBackend`.
+
+    ``"numba"`` falls back to the reference backend (with a one-time
+    ``RuntimeWarning``) when numba cannot be imported; unknown names raise
+    :class:`ModelValidationError`.
+    """
+    if name is None or name == "reference":
+        return reference_backend()
+    if name == "numba":
+        backend = load_numba_backend()
+        if backend is not None:
+            return backend
+        global _WARNED_NUMBA_FALLBACK
+        if not _WARNED_NUMBA_FALLBACK:
+            _WARNED_NUMBA_FALLBACK = True
+            warnings.warn(
+                "backend 'numba' requested but numba is not installed; "
+                "falling back to the reference backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return reference_backend()
+    raise ModelValidationError(
+        f"unknown solver backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def available_backends() -> List[str]:
+    """Backend names that resolve to themselves on this machine."""
+    names = ["reference"]
+    if load_numba_backend() is not None:
+        names.append("numba")
+    return names

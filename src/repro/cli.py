@@ -30,6 +30,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.backends import BACKEND_NAMES, SolverConfig
 from repro.cache import all_cache_stats
 from repro.core.regulation import compare_regimes
 from repro.errors import ModelValidationError
@@ -81,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", action="store_true",
                             help="print the canonical JSON artifact instead "
                                  "of the plain-text report")
+    run_parser.add_argument("--backend", default=None,
+                            choices=BACKEND_NAMES,
+                            help="solver kernel backend (default: reference, "
+                                 "or the REPRO_BACKEND environment "
+                                 "variable; 'numba' falls back to reference "
+                                 "with a warning when numba is missing)")
     run_parser.add_argument("--cache-stats", action="store_true",
                             help="after the run, print the solver caches' "
                                  "hit/miss statistics to stderr")
@@ -106,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--seed", type=int, default=None,
                             help="override the population seed of seed-aware "
                                  "experiments")
+    all_parser.add_argument("--backend", default=None,
+                            choices=BACKEND_NAMES,
+                            help="solver kernel backend for every "
+                                 "experiment; recorded in the artifacts "
+                                 "and the manifest's solver block")
     all_parser.add_argument("--strict-findings", action="store_true",
                             help="exit non-zero when an expected finding "
                                  "does not hold")
@@ -169,13 +181,21 @@ def _warn_ignored(experiment_id: str, ignored: Sequence[str]) -> None:
               "the flag is ignored", file=sys.stderr)
 
 
+def _solver_config(args: argparse.Namespace) -> Optional[SolverConfig]:
+    """The SolverConfig implied by --backend, or None for the default."""
+    if getattr(args, "backend", None) is None:
+        return None
+    return SolverConfig(backend=args.backend)
+
+
 def _run_experiment(args: argparse.Namespace) -> str:
     spec = get_spec(args.experiment)
     _warn_ignored(spec.experiment_id,
                   spec.ignored_overrides(count=args.count, seed=args.seed))
     result = spec.run(scale=args.scale,
                       count=args.count if spec.count_aware else None,
-                      seed=args.seed if spec.seed_aware else None)
+                      seed=args.seed if spec.seed_aware else None,
+                      config=_solver_config(args))
     if args.json:
         return result_to_artifact_bytes(result).decode("ascii").rstrip("\n")
     return result.report(max_rows=args.max_rows)
@@ -192,7 +212,8 @@ def _reproduce_all(args: argparse.Namespace) -> int:
                           count=args.count, seed=args.seed))
     summary = reproduce_all(ids=ids, scale=args.scale, workers=args.workers,
                             shards=args.shards, output_dir=args.output,
-                            count=args.count, seed=args.seed)
+                            count=args.count, seed=args.seed,
+                            config=_solver_config(args))
     print(f"reproduced {len(summary.experiment_ids)} experiments at scale "
           f"'{summary.scale}' with {summary.workers} worker(s) in "
           f"{summary.elapsed_seconds:.1f}s")

@@ -27,6 +27,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.cache import LRUCache
 from repro.errors import EquilibriumError, ModelValidationError
 from repro.core.strategy import ISPStrategy
@@ -51,7 +52,9 @@ __all__ = [
     "nash_equilibrium",
 ]
 
-#: Relative tolerance used when comparing CP utilities across classes.
+#: Relative tolerance used when comparing CP utilities across classes — the
+#: documented default of ``SolverConfig.surplus_tolerance``; per game it is
+#: read from the config (``self._utility_tolerance``).
 _UTILITY_TOLERANCE = 1e-9
 
 #: Memoised second-stage outcomes.  The game is deterministic in its inputs,
@@ -200,12 +203,18 @@ class CPPartitionGame:
         i.e. it computes an epsilon-equilibrium whose slack per CP matches
         the error of the throughput-taking approximation for that CP.  For
         the paper's 1000-CP workload the slack is negligible (< 1%).
+        ``None`` (the default) uses ``config.switching_tolerance`` (1e-6).
+    config:
+        Solver configuration (kernel backend, tolerances, cache policy);
+        ``None`` uses the ambient/default config.  The explicit
+        ``switching_tolerance`` keyword, when given, wins over the config.
     """
 
     def __init__(self, population: Population, nu: float, strategy: ISPStrategy,
                  mechanism: Optional[RateAllocationMechanism] = None,
                  throughput_estimator: str = "class_cap",
-                 switching_tolerance: Optional[float] = None) -> None:
+                 switching_tolerance: Optional[float] = None,
+                 config: Optional[SolverConfig] = None) -> None:
         if not math.isfinite(nu) or nu < 0.0:
             raise ModelValidationError(f"nu must be non-negative, got {nu!r}")
         if throughput_estimator not in ("class_cap", "max_member"):
@@ -222,9 +231,11 @@ class CPPartitionGame:
         self.strategy = strategy
         self.mechanism = mechanism if mechanism is not None else MaxMinFairAllocation()
         self.throughput_estimator = throughput_estimator
+        self.config = resolve_config(config)
         if switching_tolerance is None:
-            switching_tolerance = 1e-6
+            switching_tolerance = self.config.switching_tolerance
         self.switching_tolerance = float(switching_tolerance)
+        self._utility_tolerance = self.config.surplus_tolerance
         self._theta_hats = population.theta_hats
         self._alphas = population.alphas
         self._revenues = population.revenue_rates
@@ -246,7 +257,7 @@ class CPPartitionGame:
     def _class_equilibrium(self, indices: Sequence[int], class_nu: float
                            ) -> RateEquilibrium:
         return cached_subset_equilibrium(self.population, indices, class_nu,
-                                         self.mechanism)
+                                         self.mechanism, config=self.config)
 
     def _class_cap(self, indices: Sequence[int], class_nu: float) -> float:
         """Throughput level a joining CP would take as given (Assumption 3)."""
@@ -260,7 +271,7 @@ class CPPartitionGame:
             # from array views of the parent population, without building a
             # Population object for the candidate class.
             return cached_class_cap(self.population, indices, class_nu,
-                                    self.mechanism)
+                                    self.mechanism, config=self.config)
         equilibrium = self._class_equilibrium(indices, class_nu)
         if len(equilibrium.thetas) == 0:
             return math.inf
@@ -281,7 +292,7 @@ class CPPartitionGame:
         if (self.throughput_estimator == "class_cap"
                 and isinstance(self.mechanism, CommonCapAllocation)):
             return cached_class_cap_for_mask(self.population, mask, class_nu,
-                                             self.mechanism)
+                                             self.mechanism, config=self.config)
         equilibrium = self._class_equilibrium(np.nonzero(mask)[0], class_nu)
         if len(equilibrium.thetas) == 0:
             return math.inf
@@ -363,7 +374,7 @@ class CPPartitionGame:
         # Exact ties break towards the ordinary class (the paper's rule), even
         # though near-ties inside the hysteresis band stay put.
         exactly_tied = (np.abs(premium_utility - ordinary_utility)
-                        <= _UTILITY_TOLERANCE * np.maximum(1.0, scale))
+                        <= self._utility_tolerance * np.maximum(1.0, scale))
         wants_ordinary = wants_ordinary | exactly_tied
         return np.where(mask, wants_ordinary, wants_premium)
 
@@ -376,7 +387,7 @@ class CPPartitionGame:
         """
         ordinary_utility, premium_utility = self._class_utilities(
             cap_ordinary, cap_premium)
-        margin = _UTILITY_TOLERANCE * np.maximum(
+        margin = self._utility_tolerance * np.maximum(
             1.0, np.maximum(np.abs(ordinary_utility), np.abs(premium_utility)))
         return premium_utility > ordinary_utility + margin
 
@@ -418,7 +429,7 @@ class CPPartitionGame:
         return (self.population, self.nu, self.strategy.kappa,
                 self.strategy.price, mechanism_cache_key(self.mechanism),
                 self.throughput_estimator, self.switching_tolerance,
-                kind) + extra
+                self.config.cache_key(), kind) + extra
 
     @staticmethod
     def _initial_key(initial_premium: Optional[Iterable[int]]
@@ -453,6 +464,9 @@ class CPPartitionGame:
         can select a different equilibrium) return the identical outcome.
         """
         initial_key = self._initial_key(initial_premium)
+        if self.config.cache_policy == "bypass":
+            return self._competitive_equilibrium_uncached(
+                max_iterations, repair_budget, initial_key)
         key = self._outcome_key(
             "competitive", (max_iterations, repair_budget, initial_key))
         return _PARTITION_CACHE.get_or_compute(
@@ -622,6 +636,8 @@ class CPPartitionGame:
         equilibrium cache, and the outcome itself is memoised.
         """
         initial_key = self._initial_key(initial_premium)
+        if self.config.cache_policy == "bypass":
+            return self._nash_equilibrium_uncached(max_passes, initial_key)
         key = self._outcome_key("nash", (max_passes, initial_key))
         return _PARTITION_CACHE.get_or_compute(
             key, lambda: self._nash_equilibrium_uncached(max_passes, initial_key)
@@ -648,7 +664,7 @@ class CPPartitionGame:
                 rho_ordinary = self._exact_rho(i, others_ordinary, self.ordinary_nu)
                 premium_utility = (provider.revenue_rate - price) * rho_premium
                 ordinary_utility = provider.revenue_rate * rho_ordinary
-                margin = _UTILITY_TOLERANCE * max(
+                margin = self._utility_tolerance * max(
                     1.0, abs(premium_utility), abs(ordinary_utility))
                 wants_premium = premium_utility > ordinary_utility + margin
                 if wants_premium != mask[i]:
@@ -672,7 +688,7 @@ class CPPartitionGame:
             rho_ordinary = self._exact_rho(i, others_ordinary, self.ordinary_nu)
             premium_utility = (provider.revenue_rate - price) * rho_premium
             ordinary_utility = provider.revenue_rate * rho_ordinary
-            margin = _UTILITY_TOLERANCE * max(
+            margin = self._utility_tolerance * max(
                 1.0, abs(premium_utility), abs(ordinary_utility))
             wants_premium = premium_utility > ordinary_utility + margin
             if wants_premium != in_premium:
@@ -683,13 +699,17 @@ class CPPartitionGame:
 def competitive_equilibrium(population: Population, nu: float,
                             strategy: ISPStrategy,
                             mechanism: Optional[RateAllocationMechanism] = None,
+                            config: Optional[SolverConfig] = None,
                             **kwargs) -> PartitionOutcome:
     """Convenience wrapper: competitive equilibrium of ``(M, mu, N, s_I)``."""
-    return CPPartitionGame(population, nu, strategy, mechanism).competitive_equilibrium(**kwargs)
+    game = CPPartitionGame(population, nu, strategy, mechanism, config=config)
+    return game.competitive_equilibrium(**kwargs)
 
 
 def nash_equilibrium(population: Population, nu: float, strategy: ISPStrategy,
                      mechanism: Optional[RateAllocationMechanism] = None,
+                     config: Optional[SolverConfig] = None,
                      **kwargs) -> PartitionOutcome:
     """Convenience wrapper: Nash equilibrium of ``(M, mu, N, s_I)``."""
-    return CPPartitionGame(population, nu, strategy, mechanism).nash_equilibrium(**kwargs)
+    game = CPPartitionGame(population, nu, strategy, mechanism, config=config)
+    return game.nash_equilibrium(**kwargs)

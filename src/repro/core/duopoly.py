@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
 from repro.core.cp_game import PartitionOutcome
 from repro.core.migration import (
@@ -34,11 +35,17 @@ from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY
 from repro.network.allocation import RateAllocationMechanism
 from repro.network.provider import Population
 
-__all__ = ["DuopolyOutcome", "DuopolyGame", "STRATEGIC_ISP", "PUBLIC_OPTION_ISP"]
+__all__ = ["DuopolyOutcome", "DuopolyGame", "STRATEGIC_ISP",
+           "PUBLIC_OPTION_ISP", "DUOPOLY_MIGRATION_TOLERANCE"]
 
 #: Default names used for the two ISPs.
 STRATEGIC_ISP = "ISP-I"
 PUBLIC_OPTION_ISP = "ISP-J"
+
+#: The duopoly's documented migration-tolerance default: the two-ISP solve
+#: is an exact share bisection, so it affords a tighter tolerance than the
+#: oligopoly tatonnement (``OLIGOPOLY_MIGRATION_TOLERANCE`` = 1e-3).
+DUOPOLY_MIGRATION_TOLERANCE = 1e-4
 
 
 @dataclass(frozen=True)
@@ -117,13 +124,20 @@ class DuopolyGame:
         opponent holds the remainder (the paper's experiments use 1/2).
     mechanism:
         Rate-allocation mechanism inside every service class.
+    migration_tolerance:
+        Surplus-equalisation tolerance of the share bisection.  Resolution
+        order: explicit value, then ``config.migration_tolerance``, then
+        :data:`DUOPOLY_MIGRATION_TOLERANCE` (1e-4).
+    config:
+        Solver configuration threaded into every layer below.
     """
 
     def __init__(self, population: Population, total_nu: float,
                  strategic_capacity_share: float = 0.5,
                  mechanism: Optional[RateAllocationMechanism] = None,
-                 *, migration_tolerance: float = 1e-4,
-                 migration_iterations: int = 40) -> None:
+                 *, migration_tolerance: Optional[float] = None,
+                 migration_iterations: int = 40,
+                 config: Optional[SolverConfig] = None) -> None:
         if not math.isfinite(total_nu) or total_nu < 0.0:
             raise ModelValidationError(
                 f"total_nu must be non-negative, got {total_nu!r}")
@@ -136,6 +150,12 @@ class DuopolyGame:
         self.total_nu = float(total_nu)
         self.strategic_capacity_share = float(strategic_capacity_share)
         self.mechanism = mechanism
+        self.config = resolve_config(config)
+        if migration_tolerance is None:
+            migration_tolerance = (
+                self.config.migration_tolerance
+                if self.config.migration_tolerance is not None
+                else DUOPOLY_MIGRATION_TOLERANCE)
         self.migration_tolerance = migration_tolerance
         self.migration_iterations = migration_iterations
 
@@ -160,6 +180,7 @@ class DuopolyGame:
             self.population, self.total_nu, isps, self.mechanism,
             tolerance=self.migration_tolerance,
             max_iterations=self.migration_iterations,
+            config=self.config,
         )
         return DuopolyOutcome(strategy_strategic=strategy,
                               strategy_other=opponent_strategy,
@@ -205,7 +226,7 @@ class DuopolyGame:
                     capacities.add(gamma * float(nu) / share)
         if capacities:
             warm_equilibrium_cache(self.population, sorted(capacities),
-                                   self.mechanism)
+                                   self.mechanism, config=self.config)
 
     def capacity_sweep(self, strategy: ISPStrategy, nus: Iterable[float],
                        opponent_strategy: ISPStrategy = PUBLIC_OPTION_STRATEGY
@@ -218,7 +239,8 @@ class DuopolyGame:
             game = DuopolyGame(self.population, float(nu),
                                self.strategic_capacity_share, self.mechanism,
                                migration_tolerance=self.migration_tolerance,
-                               migration_iterations=self.migration_iterations)
+                               migration_iterations=self.migration_iterations,
+                               config=self.config)
             outcomes.append(game.outcome(strategy, opponent_strategy))
         return outcomes
 

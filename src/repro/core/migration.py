@@ -25,17 +25,23 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
 from repro.core.cp_game import CPPartitionGame, PartitionOutcome
 from repro.core.strategy import ISPStrategy
 from repro.network.allocation import RateAllocationMechanism
 from repro.network.provider import Population
 
-__all__ = ["IspConfig", "MarketSplit", "solve_market_split", "isp_outcome_at_share"]
+__all__ = ["IspConfig", "MarketSplit", "solve_market_split",
+           "isp_outcome_at_share", "DEFAULT_MIGRATION_TOLERANCE"]
 
 #: Smallest market share considered; avoids the singular ``nu_I = inf`` and
 #: models the paper's observation that an ISP is never literally empty.
 DEFAULT_MIN_SHARE = 1e-4
+
+#: Default relative tolerance on the surplus equalisation (overridable per
+#: call or via ``SolverConfig.migration_tolerance``).
+DEFAULT_MIGRATION_TOLERANCE = 1e-4
 
 
 @dataclass(frozen=True)
@@ -108,7 +114,9 @@ def isp_outcome_at_share(population: Population, total_nu: float, isp: IspConfig
                          share: float,
                          mechanism: Optional[RateAllocationMechanism] = None,
                          min_share: float = DEFAULT_MIN_SHARE,
-                         initial_premium=None) -> PartitionOutcome:
+                         initial_premium=None,
+                         config: Optional[SolverConfig] = None
+                         ) -> PartitionOutcome:
     """Second-stage outcome at ISP ``isp`` when it holds market share ``share``.
 
     The ISP's per-capita capacity is ``nu_I = gamma_I * total_nu / m_I``; the
@@ -119,12 +127,14 @@ def isp_outcome_at_share(population: Population, total_nu: float, isp: IspConfig
         raise ModelValidationError(f"total_nu must be non-negative, got {total_nu!r}")
     effective_share = max(float(share), min_share)
     nu_isp = isp.capacity_share * total_nu / effective_share
-    game = CPPartitionGame(population, nu_isp, isp.strategy, mechanism)
+    game = CPPartitionGame(population, nu_isp, isp.strategy, mechanism,
+                           config=config)
     return game.competitive_equilibrium(initial_premium=initial_premium)
 
 
 def _surplus_at_share(population: Population, total_nu: float, isp: IspConfig,
-                      share: float, mechanism, min_share: float) -> float:
+                      share: float, mechanism, min_share: float,
+                      config: Optional[SolverConfig] = None) -> float:
     """Consumer surplus at an ISP holding ``share`` of the consumers.
 
     Relies on the batched equilibrium engine's shared memoisation: the
@@ -134,17 +144,19 @@ def _surplus_at_share(population: Population, total_nu: float, isp: IspConfig,
     surplus curve is computed once for an entire price sweep.
     """
     outcome = isp_outcome_at_share(population, total_nu, isp, share,
-                                   mechanism, min_share)
+                                   mechanism, min_share, config=config)
     return outcome.consumer_surplus
 
 
 def _build_split(population: Population, total_nu: float,
                  isps: Sequence[IspConfig], shares: Dict[str, float],
                  mechanism, min_share: float, converged: bool,
-                 iterations: int) -> MarketSplit:
+                 iterations: int,
+                 config: Optional[SolverConfig] = None) -> MarketSplit:
     outcomes = {
         isp.name: isp_outcome_at_share(population, total_nu, isp,
-                                       shares[isp.name], mechanism, min_share)
+                                       shares[isp.name], mechanism, min_share,
+                                       config=config)
         for isp in isps
     }
     surpluses = {name: outcome.consumer_surplus for name, outcome in outcomes.items()}
@@ -166,16 +178,18 @@ def _build_split(population: Population, total_nu: float,
 def _solve_duopoly(population: Population, total_nu: float,
                    first: IspConfig, second: IspConfig, mechanism,
                    min_share: float, tolerance: float,
-                   max_iterations: int) -> MarketSplit:
+                   max_iterations: int,
+                   config: Optional[SolverConfig] = None) -> MarketSplit:
     """Bisection on the first ISP's market share for the two-ISP case."""
     surplus_scale = 1.0
 
     def gap(share_first: float) -> float:
         nonlocal surplus_scale
         phi_first = _surplus_at_share(population, total_nu, first, share_first,
-                                      mechanism, min_share)
+                                      mechanism, min_share, config)
         phi_second = _surplus_at_share(population, total_nu, second,
-                                       1.0 - share_first, mechanism, min_share)
+                                       1.0 - share_first, mechanism, min_share,
+                                       config)
         surplus_scale = max(surplus_scale, abs(phi_first), abs(phi_second))
         return phi_first - phi_second
 
@@ -186,11 +200,11 @@ def _solve_duopoly(population: Population, total_nu: float,
         # all consumers go to the second ISP.
         shares = {first.name: 0.0, second.name: 1.0}
         return _build_split(population, total_nu, (first, second), shares,
-                            mechanism, min_share, True, 1)
+                            mechanism, min_share, True, 1, config)
     if gap_high >= 0.0:
         shares = {first.name: 1.0, second.name: 0.0}
         return _build_split(population, total_nu, (first, second), shares,
-                            mechanism, min_share, True, 1)
+                            mechanism, min_share, True, 1, config)
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         mid = 0.5 * (low + high)
@@ -207,13 +221,14 @@ def _solve_duopoly(population: Population, total_nu: float,
     share_first = 0.5 * (low + high)
     shares = {first.name: share_first, second.name: 1.0 - share_first}
     split = _build_split(population, total_nu, (first, second), shares,
-                         mechanism, min_share, True, iterations)
+                         mechanism, min_share, True, iterations, config)
     return split
 
 
 def _solve_multi(population: Population, total_nu: float,
                  isps: Sequence[IspConfig], mechanism, min_share: float,
-                 tolerance: float, max_iterations: int) -> MarketSplit:
+                 tolerance: float, max_iterations: int,
+                 config: Optional[SolverConfig] = None) -> MarketSplit:
     """Tatonnement on market shares for three or more ISPs.
 
     ISPs whose per-capita surplus is above the market average attract
@@ -230,7 +245,8 @@ def _solve_multi(population: Population, total_nu: float,
     for iterations in range(1, max_iterations + 1):
         surpluses = {
             isp.name: _surplus_at_share(population, total_nu, isp,
-                                        shares[isp.name], mechanism, min_share)
+                                        shares[isp.name], mechanism, min_share,
+                                        config)
             for isp in isps
         }
         mean = sum(shares[name] * surpluses[name] for name in shares)
@@ -240,7 +256,7 @@ def _solve_multi(population: Population, total_nu: float,
             if any(shares[isp.name] > 2.0 * min_share for isp in isps) else 0.0
         if residual <= tolerance * scale:
             return _build_split(population, total_nu, isps, shares, mechanism,
-                                min_share, True, iterations)
+                                min_share, True, iterations, config)
         if residual > previous_residual:
             step = max(step * 0.5, 0.05)
         previous_residual = residual
@@ -252,15 +268,16 @@ def _solve_multi(population: Population, total_nu: float,
         total = sum(updated.values())
         shares = {name: value / total for name, value in updated.items()}
     return _build_split(population, total_nu, isps, shares, mechanism,
-                        min_share, False, iterations)
+                        min_share, False, iterations, config)
 
 
 def solve_market_split(population: Population, total_nu: float,
                        isps: Sequence[IspConfig],
                        mechanism: Optional[RateAllocationMechanism] = None,
                        *, min_share: float = DEFAULT_MIN_SHARE,
-                       tolerance: float = 1e-4,
-                       max_iterations: int = 60) -> MarketSplit:
+                       tolerance: Optional[float] = None,
+                       max_iterations: int = 60,
+                       config: Optional[SolverConfig] = None) -> MarketSplit:
     """Find the consumer-migration equilibrium among the given ISPs.
 
     Parameters
@@ -272,8 +289,17 @@ def solve_market_split(population: Population, total_nu: float,
     isps:
         Participating ISPs; their capacity shares must sum to 1.
     tolerance:
-        Relative tolerance on the surplus equalisation.
+        Relative tolerance on the surplus equalisation.  An explicit value
+        wins over ``config.migration_tolerance``; when both are ``None`` the
+        default is :data:`DEFAULT_MIGRATION_TOLERANCE`.
+    config:
+        Solver configuration threaded into every per-ISP partition game.
     """
+    config = resolve_config(config)
+    if tolerance is None:
+        tolerance = (config.migration_tolerance
+                     if config.migration_tolerance is not None
+                     else DEFAULT_MIGRATION_TOLERANCE)
     if not isps:
         raise ModelValidationError("at least one ISP is required")
     names = [isp.name for isp in isps]
@@ -287,9 +313,9 @@ def solve_market_split(population: Population, total_nu: float,
     if len(isps) == 1:
         shares = {isps[0].name: 1.0}
         return _build_split(population, total_nu, isps, shares, mechanism,
-                            min_share, True, 0)
+                            min_share, True, 0, config)
     if len(isps) == 2:
         return _solve_duopoly(population, total_nu, isps[0], isps[1], mechanism,
-                              min_share, tolerance, max_iterations)
+                              min_share, tolerance, max_iterations, config)
     return _solve_multi(population, total_nu, isps, mechanism, min_share,
-                        tolerance, max_iterations)
+                        tolerance, max_iterations, config)

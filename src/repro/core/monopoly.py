@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
 from repro.core.cp_game import CPPartitionGame, PartitionOutcome
 from repro.core.strategy import ISPStrategy, NEUTRAL_STRATEGY
@@ -81,11 +82,14 @@ class MonopolyGame:
     equilibrium_kind:
         ``"competitive"`` (Definition 3, default) or ``"nash"``
         (Definition 2) for the second stage.
+    config:
+        Solver configuration threaded into every second-stage solve.
     """
 
     def __init__(self, population: Population, nu: float,
                  mechanism: Optional[RateAllocationMechanism] = None,
-                 equilibrium_kind: str = "competitive") -> None:
+                 equilibrium_kind: str = "competitive",
+                 config: Optional[SolverConfig] = None) -> None:
         if not math.isfinite(nu) or nu < 0.0:
             raise ModelValidationError(f"nu must be non-negative, got {nu!r}")
         if equilibrium_kind not in ("competitive", "nash"):
@@ -96,6 +100,7 @@ class MonopolyGame:
         self.nu = float(nu)
         self.mechanism = mechanism
         self.equilibrium_kind = equilibrium_kind
+        self.config = resolve_config(config)
 
     # ------------------------------------------------------------------ #
     # Second-stage outcomes
@@ -108,7 +113,8 @@ class MonopolyGame:
         capacities, so grid searches (``price_sweep``, ``revenue_optimal``,
         ``verify_kappa_dominance``) never re-solve a sub-problem.
         """
-        game = CPPartitionGame(self.population, self.nu, strategy, self.mechanism)
+        game = CPPartitionGame(self.population, self.nu, strategy, self.mechanism,
+                               config=self.config)
         if self.equilibrium_kind == "nash":
             partition = game.nash_equilibrium()
         else:
@@ -130,7 +136,7 @@ class MonopolyGame:
         outcomes = []
         for nu in nus:
             game = MonopolyGame(self.population, float(nu), self.mechanism,
-                                self.equilibrium_kind)
+                                self.equilibrium_kind, config=self.config)
             outcomes.append(game.outcome(strategy))
         return outcomes
 

@@ -24,13 +24,21 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
 from repro.core.migration import IspConfig, MarketSplit, solve_market_split
 from repro.core.strategy import ISPStrategy
 from repro.network.allocation import RateAllocationMechanism
 from repro.network.provider import Population
 
-__all__ = ["OligopolyOutcome", "OligopolyGame"]
+__all__ = ["OligopolyOutcome", "OligopolyGame",
+           "OLIGOPOLY_MIGRATION_TOLERANCE"]
+
+#: The oligopoly's documented migration-tolerance default: the multi-ISP
+#: tatonnement converges on the small surplus discontinuities of
+#: Equation (9), so it runs at a looser tolerance than the duopoly's exact
+#: share bisection (``DUOPOLY_MIGRATION_TOLERANCE`` = 1e-4).
+OLIGOPOLY_MIGRATION_TOLERANCE = 1e-3
 
 
 @dataclass(frozen=True)
@@ -82,13 +90,21 @@ class OligopolyGame:
     capacity_shares:
         Mapping from ISP name to its capacity share ``gamma_I``; the shares
         must sum to 1.
+    migration_tolerance:
+        Surplus-equalisation tolerance of the migration tatonnement.
+        Resolution order: explicit value, then
+        ``config.migration_tolerance``, then
+        :data:`OLIGOPOLY_MIGRATION_TOLERANCE` (1e-3).
+    config:
+        Solver configuration threaded into every layer below.
     """
 
     def __init__(self, population: Population, total_nu: float,
                  capacity_shares: Mapping[str, float],
                  mechanism: Optional[RateAllocationMechanism] = None,
-                 *, migration_tolerance: float = 1e-3,
-                 migration_iterations: int = 80) -> None:
+                 *, migration_tolerance: Optional[float] = None,
+                 migration_iterations: int = 80,
+                 config: Optional[SolverConfig] = None) -> None:
         if not math.isfinite(total_nu) or total_nu < 0.0:
             raise ModelValidationError(
                 f"total_nu must be non-negative, got {total_nu!r}")
@@ -106,6 +122,12 @@ class OligopolyGame:
         self.total_nu = float(total_nu)
         self.capacity_shares = dict(capacity_shares)
         self.mechanism = mechanism
+        self.config = resolve_config(config)
+        if migration_tolerance is None:
+            migration_tolerance = (
+                self.config.migration_tolerance
+                if self.config.migration_tolerance is not None
+                else OLIGOPOLY_MIGRATION_TOLERANCE)
         self.migration_tolerance = migration_tolerance
         self.migration_iterations = migration_iterations
 
@@ -123,6 +145,7 @@ class OligopolyGame:
             self.population, self.total_nu, isps, self.mechanism,
             tolerance=self.migration_tolerance,
             max_iterations=self.migration_iterations,
+            config=self.config,
         )
         return OligopolyOutcome(strategies=dict(strategies),
                                 capacity_shares=dict(self.capacity_shares),
@@ -220,7 +243,8 @@ class OligopolyGame:
         for name, gamma in self.capacity_shares.items():
             isp = IspConfig(name, strategy, gamma)
             outcomes[name] = isp_outcome_at_share(
-                self.population, self.total_nu, isp, gamma, self.mechanism)
+                self.population, self.total_nu, isp, gamma, self.mechanism,
+                config=self.config)
         surpluses = {name: outcome.consumer_surplus
                      for name, outcome in outcomes.items()}
         values = list(surpluses.values())

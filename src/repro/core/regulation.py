@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from repro.backends.config import SolverConfig
 from repro.errors import ModelValidationError
 from repro.core.duopoly import DuopolyGame
 from repro.core.monopoly import MonopolyGame
@@ -90,7 +91,8 @@ def compare_regimes(population: Population, nu: float,
                     strategies: Optional[Sequence[ISPStrategy]] = None,
                     mechanism: Optional[RateAllocationMechanism] = None,
                     *, duopoly_capacity_share: float = 0.5,
-                    include_competition: bool = True) -> RegimeComparison:
+                    include_competition: bool = True,
+                    config: Optional[SolverConfig] = None) -> RegimeComparison:
     """Evaluate the four regulatory regimes on one population and capacity.
 
     Parameters
@@ -120,7 +122,7 @@ def compare_regimes(population: Population, nu: float,
         raise ModelValidationError("strategy grid must not be empty")
     comparison = RegimeComparison(nu=nu)
 
-    monopoly = MonopolyGame(population, nu, mechanism)
+    monopoly = MonopolyGame(population, nu, mechanism, config=config)
 
     # 1. Unregulated monopoly: the ISP plays its revenue-optimal strategy.
     unregulated = monopoly.revenue_optimal(strategies)
@@ -151,7 +153,8 @@ def compare_regimes(population: Population, nu: float,
     duopoly_grid = list(strategies)
     if not any(s.is_public_option for s in duopoly_grid):
         duopoly_grid.append(PUBLIC_OPTION_STRATEGY)
-    duopoly = DuopolyGame(population, nu, duopoly_capacity_share, mechanism)
+    duopoly = DuopolyGame(population, nu, duopoly_capacity_share, mechanism,
+                          config=config)
     public_option = duopoly.best_response(duopoly_grid, objective="market_share")
     comparison.add(RegimeResult(
         regime="public_option",

@@ -28,6 +28,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.backends.base import KernelBackend
+from repro.backends.config import SolverConfig, resolve_config
+from repro.backends.reference import reference_backend
 from repro.cache import LRUCache, all_cache_stats
 from repro.errors import ModelValidationError
 from repro.network.allocation import (
@@ -245,7 +248,8 @@ class CommonCapProfile:
                                    for start in range(0, count, chunk)])
         return self.carried(caps)
 
-    def solve_cap(self, nu: float) -> float:
+    def solve_cap(self, nu: float,
+                  residual_tolerance: float = _RESIDUAL_TOLERANCE) -> float:
         """Equilibrium cap at a single per-capita capacity (scalar path).
 
         A dispatch-free mirror of :meth:`solve_caps` for one target: same
@@ -263,7 +267,7 @@ class CommonCapProfile:
             return math.inf
         low = 0.0
         high = self.upper
-        residual_tol = _RESIDUAL_TOLERANCE * max(1.0, target)
+        residual_tol = residual_tolerance * max(1.0, target)
         width_tol = _CAP_WIDTH_TOLERANCE * max(1.0, self.upper)
         for _ in range(_BISECTION_ITERATIONS):
             mid = 0.5 * (low + high)
@@ -278,7 +282,9 @@ class CommonCapProfile:
                 return high
         return high
 
-    def solve_caps(self, nus: np.ndarray) -> np.ndarray:
+    def solve_caps(self, nus: np.ndarray,
+                   residual_tolerance: float = _RESIDUAL_TOLERANCE
+                   ) -> np.ndarray:
         """Equilibrium caps for a vector of per-capita capacities.
 
         Returns one cap per entry of ``nus``: ``0.0`` for ``nu <= 0``,
@@ -292,7 +298,7 @@ class CommonCapProfile:
         if nus.ndim == 1 and nus.shape[0] == 1:
             # Scalar fast path: one target needs no vector bookkeeping (and
             # the game layers' best-response loops are all single-target).
-            return np.array([self.solve_cap(float(nus[0]))])
+            return np.array([self.solve_cap(float(nus[0]), residual_tolerance)])
         caps = np.full(nus.shape, np.inf)
         if self.size == 0:
             return caps
@@ -310,7 +316,7 @@ class CommonCapProfile:
         low = np.zeros(count)
         high = np.full(count, self.upper)
         target = targets[active]
-        residual_tol = _RESIDUAL_TOLERANCE * np.maximum(1.0, target)
+        residual_tol = residual_tolerance * np.maximum(1.0, target)
         width_tol = _CAP_WIDTH_TOLERANCE * max(1.0, self.upper)
         result = np.empty(count)
         done = np.zeros(count, dtype=bool)
@@ -368,18 +374,27 @@ class ExponentialMaxMinProfile(CommonCapProfile):
     tail needs the exponential demand of Equation (3).  One evaluation of
     ``carried`` at a G-vector of caps is a single vectorised pass instead of
     G full demand-profile recomputations.
+
+    The numerical kernels themselves live on a pluggable
+    :class:`~repro.backends.base.KernelBackend` (default: the ``reference``
+    numpy backend, which is the exact implementation that used to be inlined
+    here); the profile owns the sorted column arrays and the solve logic.
     """
 
     def __init__(self, alphas: np.ndarray, theta_hats: np.ndarray,
-                 betas: np.ndarray) -> None:
+                 betas: np.ndarray,
+                 backend: Optional[KernelBackend] = None) -> None:
         order = np.argsort(theta_hats, kind="stable")
         self._init_sorted(np.ascontiguousarray(alphas[order]),
                           np.ascontiguousarray(theta_hats[order]),
-                          np.ascontiguousarray(betas[order]))
+                          np.ascontiguousarray(betas[order]),
+                          backend)
 
     @classmethod
     def from_sorted(cls, alphas: np.ndarray, theta_hats: np.ndarray,
-                    betas: np.ndarray) -> "ExponentialMaxMinProfile":
+                    betas: np.ndarray,
+                    backend: Optional[KernelBackend] = None
+                    ) -> "ExponentialMaxMinProfile":
         """Profile from arrays already in stable ``theta_hat`` order.
 
         Used by the subset-profile cache: filtering a parent population's
@@ -391,11 +406,14 @@ class ExponentialMaxMinProfile(CommonCapProfile):
         self = object.__new__(cls)
         self._init_sorted(np.ascontiguousarray(alphas),
                           np.ascontiguousarray(theta_hats),
-                          np.ascontiguousarray(betas))
+                          np.ascontiguousarray(betas),
+                          backend)
         return self
 
     def _init_sorted(self, alphas: np.ndarray, theta_hats: np.ndarray,
-                     betas: np.ndarray) -> None:
+                     betas: np.ndarray,
+                     backend: Optional[KernelBackend] = None) -> None:
+        self._backend = backend if backend is not None else reference_backend()
         self._theta_hats = theta_hats
         self._alphas = alphas
         self._betas = betas
@@ -418,77 +436,74 @@ class ExponentialMaxMinProfile(CommonCapProfile):
         return self.unconstrained_load
 
     def carried_scalar(self, cap: float) -> float:
-        """Scalar twin of :meth:`carried`, bit-identical per evaluation.
+        """Scalar twin of :meth:`carried` (see the backend's contract).
 
-        The one-element vector path reduces a ``(1, tail)`` row with the
-        same pairwise tree as this contiguous 1-D sum, its all-true mask
-        ``where`` is an identity, and the congestion tail (``theta > cap``)
-        cannot overflow ``exp`` (exponents are non-positive; underflow is
-        ignored by default), so no ``errstate`` guard is needed here.
+        On the reference backend the result is bit-identical to the
+        one-element vector path; other backends agree to ``<= 1e-10``.
         """
-        if cap <= 0.0:
-            return 0.0
-        count = self._theta_hats.searchsorted(cap, side="right")
-        saturated = self._prefix[count]
-        if count == self.size:
-            return float(saturated)
-        # Same arithmetic as the expression form — ``theta/cap - 1`` then
-        # ``alpha * exp(-beta * congestion) * cap`` — evaluated through
-        # ``out=`` kernels into one contiguous buffer; ``np.add.reduce`` is
-        # the reduction ``ndarray.sum`` itself dispatches to, so the pairwise
-        # summation tree (and every bit of the result) is unchanged.
-        buffer = self._scratch[count:]
-        np.divide(self._theta_hats[count:], cap, out=buffer)
-        np.subtract(buffer, 1.0, out=buffer)
-        np.multiply(self._neg_betas[count:], buffer, out=buffer)
-        np.exp(buffer, out=buffer)
-        np.multiply(self._alphas[count:], buffer, out=buffer)
-        np.multiply(buffer, cap, out=buffer)
-        return float(saturated + np.add.reduce(buffer))
+        return self._backend.carried_scalar(self, cap)
 
     def carried(self, caps: np.ndarray) -> np.ndarray:
         caps = np.asarray(caps, dtype=float)
-        saturated_counts = np.searchsorted(self._theta_hats, caps, side="right")
-        saturated = self._prefix[saturated_counts]
-        positive = caps > 0.0
-        safe_caps = np.where(positive, caps, 1.0)
-        # Only columns that can be congested for at least one cap matter.
-        first_tail = int(saturated_counts.min()) if len(caps) else self.size
-        theta_tail = self._theta_hats[first_tail:]
-        with np.errstate(over="ignore", under="ignore"):
-            congestion = theta_tail[np.newaxis, :] / safe_caps[:, np.newaxis] - 1.0
-            contributions = (self._alphas[first_tail:]
-                             * np.exp(-self._betas[first_tail:] * congestion)
-                             * safe_caps[:, np.newaxis])
-        tail_mask = (np.arange(first_tail, self.size)[np.newaxis, :]
-                     >= saturated_counts[:, np.newaxis])
-        tail = np.where(tail_mask, contributions, 0.0).sum(axis=-1)
-        return np.where(positive, saturated + tail, 0.0)
+        return self._backend.carried_grid(self, caps)
+
+    def solve_cap(self, nu: float,
+                  residual_tolerance: float = _RESIDUAL_TOLERANCE) -> float:
+        """Scalar solve, using the backend's fused bisection when it has one.
+
+        The guards and the bisection parameters mirror
+        :meth:`CommonCapProfile.solve_cap` exactly; backends without a fused
+        kernel (the reference backend) fall through to the generic loop over
+        :meth:`carried_scalar`.
+        """
+        bisect = self._backend.bisect_scalar
+        if bisect is None:
+            return super().solve_cap(nu, residual_tolerance)
+        if self.size == 0:
+            return math.inf
+        if nu <= 0.0:
+            return 0.0
+        target = min(nu, self.unconstrained_load)
+        if (nu >= self.unconstrained_load - 1e-15
+                or self.carried_at_upper() <= target + 1e-15):
+            return math.inf
+        return float(bisect(self, target, _BISECTION_ITERATIONS,
+                            residual_tolerance * max(1.0, target),
+                            _CAP_WIDTH_TOLERANCE * max(1.0, self.upper)))
 
 
 def common_cap_profile(population: Population,
-                       mechanism: CommonCapAllocation) -> CommonCapProfile:
+                       mechanism: CommonCapAllocation,
+                       config: Optional[SolverConfig] = None
+                       ) -> CommonCapProfile:
     """The fastest applicable carried-load profile for a population.
 
     The max-min + all-exponential fast path (the paper's workload) is cached
-    on the population; everything else gets the generic profile.  The choice
-    is a function of (population, mechanism) only, so the scalar and batched
-    solvers always agree on the numerics.
+    on the population — one profile per kernel backend, so reference- and
+    numba-backed profiles never alias; everything else gets the generic
+    profile.  The choice is a function of (population, mechanism, backend)
+    only, so the scalar and batched solvers always agree on the numerics.
     """
     if type(mechanism) is MaxMinFairAllocation:
-        cached = getattr(population, "_exp_maxmin_profile", None)
-        if cached is not None:
-            return cached
+        backend = resolve_config(config).backend_instance()
+        profiles = getattr(population, "_exp_maxmin_profiles", None)
+        if profiles is not None and backend.name in profiles:
+            return profiles[backend.name]
         parameters = population.exponential_parameters
         if parameters is not None:
-            profile = ExponentialMaxMinProfile(population.alphas, *parameters)
-            population._exp_maxmin_profile = profile  # type: ignore[attr-defined]
+            profile = ExponentialMaxMinProfile(population.alphas, *parameters,
+                                               backend=backend)
+            if profiles is None:
+                profiles = {}
+                population._exp_maxmin_profiles = profiles  # type: ignore[attr-defined]
+            profiles[backend.name] = profile
             return profile
     return GenericCapProfile(population, mechanism)
 
 
 def solve_common_caps(population: Population, nus: Sequence[float],
-                      mechanism: CommonCapAllocation
+                      mechanism: CommonCapAllocation,
+                      config: Optional[SolverConfig] = None
                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Equilibria of a cap-parameterised mechanism at a vector of capacities.
 
@@ -497,9 +512,11 @@ def solve_common_caps(population: Population, nus: Sequence[float],
     ``nu <= 0``.  This is the exact Theorem-1 solution at every grid point,
     computed with one shared vectorised bisection.
     """
+    config = resolve_config(config)
     nus_arr = np.asarray(nus, dtype=float)
-    profile = common_cap_profile(population, mechanism)
-    caps = profile.solve_caps(nus_arr)
+    profile = common_cap_profile(population, mechanism, config)
+    caps = profile.solve_caps(nus_arr,
+                              residual_tolerance=config.bisection_tolerance)
     if len(population) == 0:
         empty = np.zeros((len(nus_arr), 0))
         return caps, empty, empty
@@ -510,7 +527,9 @@ def solve_common_caps(population: Population, nus: Sequence[float],
 
 
 def _common_cap_equilibrium(population: Population, nu: float,
-                            mechanism: CommonCapAllocation) -> RateEquilibrium:
+                            mechanism: CommonCapAllocation,
+                            config: Optional[SolverConfig] = None
+                            ) -> RateEquilibrium:
     """Exact equilibrium for cap-parameterised mechanisms.
 
     The equilibrium profile is ``theta_i = theta_i(cap)`` where the cap solves
@@ -521,7 +540,8 @@ def _common_cap_equilibrium(population: Population, nu: float,
     unique solution of Theorem 1.  Delegates to the vectorised kernel with a
     one-element grid, guaranteeing scalar/batch equivalence.
     """
-    caps, thetas, demands = solve_common_caps(population, (nu,), mechanism)
+    caps, thetas, demands = solve_common_caps(population, (nu,), mechanism,
+                                              config)
     return RateEquilibrium(population, nu, thetas[0], demands[0],
                            mechanism_name=type(mechanism).__name__,
                            common_cap=float(caps[0]))
@@ -529,6 +549,7 @@ def _common_cap_equilibrium(population: Population, nu: float,
 
 def solve_rate_equilibrium(population: Population, nu: float,
                            mechanism: Optional[RateAllocationMechanism] = None,
+                           config: Optional[SolverConfig] = None,
                            ) -> RateEquilibrium:
     """Compute the unique rate equilibrium of ``(M, mu, N)`` at ``nu = mu/M``.
 
@@ -544,6 +565,9 @@ def solve_rate_equilibrium(population: Population, nu: float,
     mechanism:
         The rate-allocation mechanism; defaults to the paper's max-min fair
         mechanism.
+    config:
+        Solver configuration (kernel backend + bisection tolerance);
+        ``None`` uses the ambient/default config.
 
     Returns
     -------
@@ -559,7 +583,7 @@ def solve_rate_equilibrium(population: Population, nu: float,
     if nu == 0.0:
         return _zero_capacity_equilibrium(population, mechanism, nu)
     if isinstance(mechanism, CommonCapAllocation):
-        return _common_cap_equilibrium(population, nu, mechanism)
+        return _common_cap_equilibrium(population, nu, mechanism, config)
     thetas = fixed_point_allocation(mechanism, population, nu)
     demands = population.demands_at(thetas)
     return RateEquilibrium(population, nu, thetas, demands,
@@ -663,50 +687,65 @@ def _maxmin_order(population: Population) -> np.ndarray:
 
 
 def _subset_profile(population: Population, mask: np.ndarray,
-                    mask_bytes: bytes) -> ExponentialMaxMinProfile:
+                    mask_bytes: bytes,
+                    config: SolverConfig) -> ExponentialMaxMinProfile:
     """Cached sorted-prefix profile of one service class.
 
     Requires ``population.exponential_parameters`` to be non-``None``.  The
     class's sorted arrays are obtained by filtering the parent's cached
     stable sort order with the membership mask — identical floats, in the
-    identical order, to stable-argsorting the subset itself.
+    identical order, to stable-argsorting the subset itself.  Profiles are
+    cached per kernel backend (the profile embeds one).
     """
+    backend = config.backend_instance()
+
     def build() -> ExponentialMaxMinProfile:
         theta_hats, betas = population.exponential_parameters
         order = _maxmin_order(population)
         sub_order = order[mask[order]]
         return ExponentialMaxMinProfile.from_sorted(
             population.alphas[sub_order], theta_hats[sub_order],
-            betas[sub_order])
+            betas[sub_order], backend=backend)
 
-    return _PROFILE_CACHE.get_or_compute((population, mask_bytes), build)
+    if config.cache_policy == "bypass":
+        return build()
+    return _PROFILE_CACHE.get_or_compute(
+        (population, mask_bytes, backend.name), build)
 
 
 def cached_subset_equilibrium(population: Population,
                               indices: Optional[Sequence[int]],
                               nu: float,
                               mechanism: Optional[RateAllocationMechanism] = None,
-                              cache: Optional[LRUCache] = None
+                              cache: Optional[LRUCache] = None,
+                              config: Optional[SolverConfig] = None
                               ) -> RateEquilibrium:
     """Memoised rate equilibrium of a sub-population selected by index.
 
     ``indices=None`` (or the full index set) solves the whole population.
     Results are bit-identical to ``solve_rate_equilibrium`` on
     ``population.subset(indices)``; the cache key is
-    ``(population, sorted indices, nu, mechanism.cache_key())``.
+    ``(population, sorted indices, nu, mechanism.cache_key(),
+    config.cache_key())`` — entries computed under different backends or
+    tolerances never alias.  ``cache_policy="bypass"`` solves directly
+    without touching the cache.
     """
+    config = resolve_config(config)
     cache = _EQUILIBRIUM_CACHE if cache is None else cache
     subset_key = _indices_key(population, indices)
     key = (population, _subset_cache_key(population, subset_key), float(nu),
-           mechanism_cache_key(mechanism))
+           mechanism_cache_key(mechanism), config.cache_key())
 
     def solve() -> RateEquilibrium:
         members = (population if subset_key is None
                    else population.subset(subset_key))
         return frozen_equilibrium(solve_rate_equilibrium(
             members, nu,
-            mechanism if mechanism is not None else _DEFAULT_MECHANISM))
+            mechanism if mechanism is not None else _DEFAULT_MECHANISM,
+            config))
 
+    if config.cache_policy == "bypass":
+        return solve()
     return cache.get_or_compute(key, solve)  # type: ignore[return-value]
 
 
@@ -714,7 +753,8 @@ def cached_class_cap(population: Population,
                      indices: Optional[Sequence[int]],
                      nu: float,
                      mechanism: Optional[RateAllocationMechanism] = None,
-                     cache: Optional[LRUCache] = None) -> float:
+                     cache: Optional[LRUCache] = None,
+                     config: Optional[SolverConfig] = None) -> float:
     """Equilibrium common throughput cap of a service class, memoised.
 
     Index-sequence convenience wrapper around
@@ -724,14 +764,15 @@ def cached_class_cap(population: Population,
     subset_key = _indices_key(population, indices)
     return cached_class_cap_for_mask(population,
                                      _subset_mask(population, subset_key),
-                                     nu, mechanism, cache)
+                                     nu, mechanism, cache, config)
 
 
 def cached_class_cap_for_mask(population: Population,
                               mask: Optional[np.ndarray],
                               nu: float,
                               mechanism: Optional[RateAllocationMechanism] = None,
-                              cache: Optional[LRUCache] = None) -> float:
+                              cache: Optional[LRUCache] = None,
+                              config: Optional[SolverConfig] = None) -> float:
     """Class cap memoised by boolean membership mask (the hot-loop form).
 
     ``mask`` is a boolean array over the parent population (``None`` — or an
@@ -744,24 +785,30 @@ def cached_class_cap_for_mask(population: Population,
     (both run the same bisection kernel on the same floats).
     """
     mechanism = mechanism if mechanism is not None else _DEFAULT_MECHANISM
+    config = resolve_config(config)
     cache = _CLASS_CAP_CACHE if cache is None else cache
     if mask is not None and mask.all():
         mask = None
     mask_bytes = None if mask is None else np.packbits(mask).tobytes()
-    key = (population, mask_bytes, float(nu), mechanism_cache_key(mechanism))
+    key = (population, mask_bytes, float(nu), mechanism_cache_key(mechanism),
+           config.cache_key())
 
     def solve() -> float:
         parameters = population.exponential_parameters
         if type(mechanism) is MaxMinFairAllocation and parameters is not None:
             if mask is None:
-                profile = common_cap_profile(population, mechanism)
+                profile = common_cap_profile(population, mechanism, config)
             else:
-                profile = _subset_profile(population, mask, mask_bytes)
-            return profile.solve_cap(float(nu))
+                profile = _subset_profile(population, mask, mask_bytes, config)
+            return profile.solve_cap(
+                float(nu), residual_tolerance=config.bisection_tolerance)
         indices = None if mask is None else np.nonzero(mask)[0]
         return float(cached_subset_equilibrium(population, indices, nu,
-                                               mechanism).common_cap)
+                                               mechanism,
+                                               config=config).common_cap)
 
+    if config.cache_policy == "bypass":
+        return solve()
     return cache.get_or_compute(key, solve)  # type: ignore[return-value]
 
 

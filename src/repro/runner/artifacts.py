@@ -133,14 +133,18 @@ def load_artifact(path: Path) -> ExperimentResult:
 def build_manifest(scale: str,
                    artifacts: Mapping[str, bytes],
                    failed_findings: Optional[Mapping[str, List[str]]] = None,
+                   solver: Optional[Mapping[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """The deterministic run manifest for a set of artifact bytes.
 
     ``artifacts`` maps experiment id to the canonical artifact bytes; the
     manifest orders experiments by id and records the SHA-256 and size of
     each file, so two runs agree byte-for-byte exactly when every artifact
-    does.  Anything non-deterministic (wall times, worker counts) belongs
-    in ``run_info.json``, never here.
+    does.  ``solver`` is the run's solver provenance
+    (:meth:`repro.backends.SolverConfig.provenance`) — deterministic for a
+    given config, and how ``scripts/manifest_diff.py`` catches comparisons
+    across backends.  Anything non-deterministic (wall times, worker
+    counts) belongs in ``run_info.json``, never here.
     """
     failed_findings = failed_findings or {}
     experiments = {
@@ -152,12 +156,15 @@ def build_manifest(scale: str,
         }
         for experiment_id, data in artifacts.items()
     }
-    return {
+    manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "kind": MANIFEST_KIND,
         "scale": scale,
         "experiments": dict(sorted(experiments.items())),
     }
+    if solver is not None:
+        manifest["solver"] = dict(solver)
+    return manifest
 
 
 def manifest_bytes(manifest: Mapping[str, Any]) -> bytes:

@@ -26,6 +26,7 @@ from multiprocessing import get_context
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
 from repro.runner import artifacts as artifacts_mod
 from repro.runner.registry import experiment_ids, get_spec
@@ -67,12 +68,14 @@ def shard_experiments(ids: Sequence[str], shards: int) -> List[List[str]]:
 
 
 def _execute_shard(shard: Sequence[str], scale: str, count: Optional[int],
-                   seed: Optional[int]
+                   seed: Optional[int],
+                   config: Optional[SolverConfig] = None,
                    ) -> List[Tuple[str, bytes, List[str], float]]:
     """Run one shard of experiments sequentially (inside one process).
 
     Returns ``(experiment_id, artifact_bytes, failed_findings, seconds)``
-    tuples; module-level so it pickles under the ``spawn`` start method.
+    tuples; module-level so it pickles under the ``spawn`` start method
+    (:class:`SolverConfig` is a frozen dataclass and pickles with it).
     """
     results = []
     for experiment_id in shard:
@@ -80,7 +83,8 @@ def _execute_shard(shard: Sequence[str], scale: str, count: Optional[int],
         started = time.perf_counter()
         result = spec.run(scale=scale,
                           count=count if spec.count_aware else None,
-                          seed=seed if spec.seed_aware else None)
+                          seed=seed if spec.seed_aware else None,
+                          config=config)
         elapsed = time.perf_counter() - started
         data = artifacts_mod.result_to_artifact_bytes(result)
         results.append((experiment_id, data, spec.failed_findings(result),
@@ -127,16 +131,20 @@ def reproduce_all(ids: Optional[Sequence[str]] = None,
                   output_dir: Path = Path("artifacts"),
                   count: Optional[int] = None,
                   seed: Optional[int] = None,
-                  shard_order: Optional[Sequence[int]] = None) -> RunSummary:
+                  shard_order: Optional[Sequence[int]] = None,
+                  config: Optional[SolverConfig] = None) -> RunSummary:
     """Run the whole suite (or ``ids``) and write artifacts + manifest.
 
     ``workers`` processes execute ``shards`` round-robin groups of
     experiments (default: one shard per worker).  ``shard_order`` permutes
     the shard submission order — exposed so tests can assert that neither
-    sharding nor scheduling affects the output bytes.  Returns a
-    :class:`RunSummary`; artifacts land in ``output_dir/<scale>/``.
+    sharding nor scheduling affects the output bytes.  ``config`` selects
+    the solver backend/tolerances for every experiment; its provenance is
+    recorded in each artifact and in the manifest's ``solver`` block.
+    Returns a :class:`RunSummary`; artifacts land in ``output_dir/<scale>/``.
     """
     started = time.perf_counter()
+    config = resolve_config(config)
     if ids is None:
         ids = experiment_ids()
     ids = list(dict.fromkeys(ids))
@@ -156,13 +164,14 @@ def reproduce_all(ids: Optional[Sequence[str]] = None,
 
     collected: Dict[str, Tuple[bytes, List[str], float]] = {}
     if workers == 1:
-        shard_results = [_execute_shard(group, scale, count, seed)
+        shard_results = [_execute_shard(group, scale, count, seed, config)
                          for group in groups]
     else:
         context = _pool_context()
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
-            futures = [pool.submit(_execute_shard, group, scale, count, seed)
+            futures = [pool.submit(_execute_shard, group, scale, count, seed,
+                                   config)
                        for group in groups]
             shard_results = [future.result() for future in futures]
     for shard_result in shard_results:
@@ -185,7 +194,8 @@ def reproduce_all(ids: Optional[Sequence[str]] = None,
         (run_dir / artifacts_mod.artifact_filename(experiment_id)
          ).write_bytes(data)
     manifest = artifacts_mod.build_manifest(scale, artifact_bytes,
-                                            failed_findings)
+                                            failed_findings,
+                                            solver=config.provenance())
     manifest_data = artifacts_mod.manifest_bytes(manifest)
     manifest_path = run_dir / "manifest.json"
     manifest_path.write_bytes(manifest_data)

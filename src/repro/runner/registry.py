@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.backends.config import SolverConfig, resolve_config, use_config
 from repro.errors import ModelValidationError
 from repro.simulation import experiments
 from repro.simulation.results import ExperimentResult
@@ -115,11 +116,24 @@ class ExperimentSpec:
         return ignored
 
     def run(self, scale: str = "default", count: Optional[int] = None,
-            seed: Optional[int] = None, **overrides: Any) -> ExperimentResult:
-        """Execute the experiment at ``scale`` and return its result."""
+            seed: Optional[int] = None,
+            config: Optional[SolverConfig] = None,
+            **overrides: Any) -> ExperimentResult:
+        """Execute the experiment at ``scale`` and return its result.
+
+        ``config`` selects the solver backend/tolerances for the whole run:
+        it is installed as the ambient :class:`SolverConfig` around the
+        experiment function (whose signature never mentions it), and its
+        provenance is recorded under ``result.parameters["solver"]`` so
+        every artifact names the solver that produced it.
+        """
         params = self.resolve_params(scale, count=count, seed=seed,
                                      **overrides)
-        return self.function(**params)
+        solver = resolve_config(config)
+        with use_config(solver):
+            result = self.function(**params)
+        result.parameters["solver"] = solver.provenance()
+        return result
 
     def failed_findings(self, result: ExperimentResult) -> List[str]:
         """Expected findings that are missing or not ``True`` in ``result``."""

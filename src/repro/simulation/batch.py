@@ -30,6 +30,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.backends.config import SolverConfig, resolve_config
 from repro.cache import LRUCache
 from repro.errors import ModelValidationError
 from repro.network.allocation import (
@@ -137,6 +138,7 @@ class BatchRateEquilibrium:
 
 def solve_rate_equilibria(population: Population, nus: Sequence[float],
                           mechanism: Optional[RateAllocationMechanism] = None,
+                          config: Optional[SolverConfig] = None,
                           ) -> BatchRateEquilibrium:
     """Rate equilibria of ``population`` at every capacity in ``nus`` at once.
 
@@ -157,7 +159,8 @@ def solve_rate_equilibria(population: Population, nus: Sequence[float],
     if mechanism is None:
         mechanism = MaxMinFairAllocation()
     if isinstance(mechanism, CommonCapAllocation):
-        caps, thetas, demands = solve_common_caps(population, nus_arr, mechanism)
+        caps, thetas, demands = solve_common_caps(population, nus_arr, mechanism,
+                                                  config)
         return BatchRateEquilibrium(
             population=population, nus=nus_arr, thetas=thetas, demands=demands,
             common_caps=caps, mechanism_name=type(mechanism).__name__)
@@ -168,7 +171,8 @@ def solve_rate_equilibria(population: Population, nus: Sequence[float],
     demands = np.empty((len(nus_arr), size))
     caps = np.empty(len(nus_arr))
     for index, nu in enumerate(nus_arr):
-        equilibrium = solve_rate_equilibrium(population, float(nu), mechanism)
+        equilibrium = solve_rate_equilibrium(population, float(nu), mechanism,
+                                             config)
         thetas[index] = equilibrium.thetas
         demands[index] = equilibrium.demands
         caps[index] = equilibrium.common_cap
@@ -179,7 +183,8 @@ def solve_rate_equilibria(population: Population, nus: Sequence[float],
 
 def warm_equilibrium_cache(population: Population, nus: Sequence[float],
                            mechanism: Optional[RateAllocationMechanism] = None,
-                           cache: Optional[LRUCache] = None
+                           cache: Optional[LRUCache] = None,
+                           config: Optional[SolverConfig] = None
                            ) -> BatchRateEquilibrium:
     """Solve a capacity grid in one pass and seed the equilibrium cache.
 
@@ -188,12 +193,19 @@ def warm_equilibrium_cache(population: Population, nus: Sequence[float],
     every ``nu`` in the grid.  Only grid points not already cached are
     solved, so re-warming the same grid (e.g. repeated sweeps over one
     population) costs a handful of dictionary lookups.  Returns the batch,
-    so callers can also read the grid directly.
+    so callers can also read the grid directly.  The cache keys mirror
+    :func:`cached_subset_equilibrium` exactly (including the config's
+    ``cache_key()``); a ``bypass`` cache policy skips seeding entirely.
     """
+    config = resolve_config(config)
+    if config.cache_policy == "bypass":
+        return solve_rate_equilibria(population, nus, mechanism, config)
     cache = default_equilibrium_cache() if cache is None else cache
     mechanism_key = mechanism_cache_key(mechanism)
+    config_key = config.cache_key()
     nus_arr = np.asarray([float(nu) for nu in nus], dtype=float)
-    keys = [(population, None, float(nu), mechanism_key) for nu in nus_arr]
+    keys = [(population, None, float(nu), mechanism_key, config_key)
+            for nu in nus_arr]
     # Read hits up front and keep local references: the seeding puts below
     # may LRU-evict earlier grid keys, so the cache must not be re-read
     # during assembly.
@@ -206,7 +218,8 @@ def warm_equilibrium_cache(population: Population, nus: Sequence[float],
         else:
             rows[index] = equilibrium
     if missing:
-        solved = solve_rate_equilibria(population, nus_arr[missing], mechanism)
+        solved = solve_rate_equilibria(population, nus_arr[missing], mechanism,
+                                       config)
         for batch_index, grid_index in enumerate(missing):
             # Frozen copies: cache entries must not alias the writable
             # (G, n) grid matrices (mutation and memory-pinning hazards).

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.backends.config import SolverConfig
 from repro.core.duopoly import DuopolyGame
 from repro.core.monopoly import MonopolyGame
 from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY
@@ -47,6 +48,7 @@ def _class_capacities(nus: Sequence[float],
 def monopoly_price_sweep(population: Population, nus: Iterable[float],
                          prices: Sequence[float], kappa: float = 1.0,
                          mechanism: Optional[RateAllocationMechanism] = None,
+                         config: Optional[SolverConfig] = None,
                          ) -> tuple[SweepResult, SweepResult]:
     """ISP surplus and consumer surplus versus premium price (Figure 4).
 
@@ -59,13 +61,13 @@ def monopoly_price_sweep(population: Population, nus: Iterable[float],
     # class capacity the grid can produce (all-ordinary / all-premium
     # partitions); the per-point games below then start from cache hits.
     warm_equilibrium_cache(population, _class_capacities(nus, (kappa,)),
-                           mechanism)
+                           mechanism, config=config)
     psi_panel = SweepResult(title=f"Per capita ISP surplus Psi vs price (kappa={kappa})",
                             parameters={"kappa": kappa})
     phi_panel = SweepResult(title=f"Per capita consumer surplus Phi vs price (kappa={kappa})",
                             parameters={"kappa": kappa})
     for nu in nus:
-        game = MonopolyGame(population, float(nu), mechanism)
+        game = MonopolyGame(population, float(nu), mechanism, config=config)
         outcomes = game.price_sweep(price_grid, kappa=kappa)
         psi_panel.add(Series(name=f"nu={float(nu):g}", x=price_grid,
                              y=tuple(o.isp_surplus for o in outcomes),
@@ -80,6 +82,7 @@ def monopoly_capacity_sweep(population: Population,
                             strategies: Sequence[ISPStrategy],
                             nus: Sequence[float],
                             mechanism: Optional[RateAllocationMechanism] = None,
+                            config: Optional[SolverConfig] = None,
                             ) -> tuple[SweepResult, SweepResult]:
     """ISP surplus and consumer surplus versus capacity (Figure 5).
 
@@ -90,15 +93,15 @@ def monopoly_capacity_sweep(population: Population,
     warm_equilibrium_cache(
         population,
         _class_capacities(nu_grid, {s.kappa for s in strategies}),
-        mechanism)
+        mechanism, config=config)
     grid_parameters = {"strategies": [s.describe() for s in strategies]}
     psi_panel = SweepResult(title="Per capita ISP surplus Psi vs capacity nu",
                             parameters=dict(grid_parameters))
     phi_panel = SweepResult(title="Per capita consumer surplus Phi vs capacity nu",
                             parameters=dict(grid_parameters))
     for strategy in strategies:
-        outcomes = MonopolyGame(population, nu_grid[0], mechanism).capacity_sweep(
-            strategy, nu_grid)
+        outcomes = MonopolyGame(population, nu_grid[0], mechanism,
+                                config=config).capacity_sweep(strategy, nu_grid)
         label = f"kappa={strategy.kappa:g},c={strategy.price:g}"
         psi_panel.add(Series(name=label, x=nu_grid,
                              y=tuple(o.isp_surplus for o in outcomes),
@@ -114,6 +117,7 @@ def duopoly_price_sweep(population: Population, nus: Iterable[float],
                         strategic_capacity_share: float = 0.5,
                         opponent_strategy: ISPStrategy = PUBLIC_OPTION_STRATEGY,
                         mechanism: Optional[RateAllocationMechanism] = None,
+                        config: Optional[SolverConfig] = None,
                         ) -> tuple[SweepResult, SweepResult, SweepResult]:
     """Market share, ISP surplus and consumer surplus vs price (Figure 7).
 
@@ -135,7 +139,8 @@ def duopoly_price_sweep(population: Population, nus: Iterable[float],
     phi_panel = SweepResult(title=f"Per capita consumer surplus Phi vs price (kappa={kappa})",
                             parameters=dict(grid_parameters))
     for nu in nus:
-        game = DuopolyGame(population, float(nu), strategic_capacity_share, mechanism)
+        game = DuopolyGame(population, float(nu), strategic_capacity_share,
+                           mechanism, config=config)
         outcomes = game.price_sweep(price_grid, kappa=kappa,
                                     opponent_strategy=opponent_strategy)
         label = f"nu={float(nu):g}"
@@ -157,6 +162,7 @@ def duopoly_capacity_sweep(population: Population,
                            strategic_capacity_share: float = 0.5,
                            opponent_strategy: ISPStrategy = PUBLIC_OPTION_STRATEGY,
                            mechanism: Optional[RateAllocationMechanism] = None,
+                           config: Optional[SolverConfig] = None,
                            ) -> tuple[SweepResult, SweepResult, SweepResult]:
     """Market share, ISP surplus and consumer surplus vs capacity (Figure 8)."""
     nu_grid = tuple(float(nu) for nu in nus)
@@ -172,7 +178,8 @@ def duopoly_capacity_sweep(population: Population,
     phi_panel = SweepResult(title="Per capita consumer surplus Phi vs capacity nu",
                             parameters=dict(grid_parameters))
     for strategy in strategies:
-        game = DuopolyGame(population, nu_grid[0], strategic_capacity_share, mechanism)
+        game = DuopolyGame(population, nu_grid[0], strategic_capacity_share,
+                           mechanism, config=config)
         outcomes = game.capacity_sweep(strategy, nu_grid,
                                        opponent_strategy=opponent_strategy)
         label = f"kappa={strategy.kappa:g},c={strategy.price:g}"

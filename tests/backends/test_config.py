@@ -1,0 +1,263 @@
+"""SolverConfig: defaults, validation, resolution and cache identity.
+
+These tests pin the satellite guarantees of the backend layer: the
+per-game tolerance defaults stay exactly what each game documented before
+SolverConfig existed, explicit arguments beat config values beat game
+defaults, cache keys never alias across configs, and the numba name
+degrades gracefully to the reference backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    SolverConfig,
+    active_config,
+    available_backends,
+    default_config,
+    get_backend,
+    numba_available,
+    reference_backend,
+    resolve_config,
+    use_config,
+)
+from repro.backends import registry as backends_registry
+from repro.core.cp_game import CPPartitionGame
+from repro.core.duopoly import DUOPOLY_MIGRATION_TOLERANCE, DuopolyGame
+from repro.core.migration import DEFAULT_MIGRATION_TOLERANCE
+from repro.core.oligopoly import OLIGOPOLY_MIGRATION_TOLERANCE, OligopolyGame
+from repro.core.strategy import PUBLIC_OPTION_STRATEGY
+from repro.errors import ModelValidationError
+from repro.network.allocation import MaxMinFairAllocation
+from repro.runner.registry import get_spec
+
+
+# --------------------------------------------------------------------------- #
+# Defaults and validation
+# --------------------------------------------------------------------------- #
+
+def test_default_config_pins_pre_refactor_tolerances():
+    config = SolverConfig()
+    assert config.backend == "reference"
+    assert config.migration_tolerance is None
+    assert config.switching_tolerance == 1e-6
+    assert config.surplus_tolerance == 1e-9
+    assert config.bisection_tolerance == 1e-13
+    assert config.cache_policy == "shared"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"backend": "fortran"},
+    {"migration_tolerance": 0.0},
+    {"migration_tolerance": -1e-4},
+    {"switching_tolerance": -1e-6},
+    {"surplus_tolerance": -1e-9},
+    {"bisection_tolerance": 0.0},
+    {"cache_policy": "write-through"},
+])
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ModelValidationError):
+        SolverConfig(**kwargs)
+
+
+def test_backend_env_var_selects_default_backend(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    assert default_config().backend == "reference"
+    monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+    assert default_config().backend == "numba"
+    monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+    assert default_config().backend == "reference"
+
+
+def test_default_config_is_interned_per_backend(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    assert default_config() is default_config()
+
+
+# --------------------------------------------------------------------------- #
+# Per-game migration/switching defaults (the inconsistency satellite)
+# --------------------------------------------------------------------------- #
+
+def test_documented_per_game_defaults_are_pinned():
+    # These three constants document the historical (and deliberate)
+    # asymmetry: the duopoly bisection is tighter than the oligopoly one.
+    assert DUOPOLY_MIGRATION_TOLERANCE == 1e-4
+    assert OLIGOPOLY_MIGRATION_TOLERANCE == 1e-3
+    assert DEFAULT_MIGRATION_TOLERANCE == 1e-4
+
+
+def test_game_defaults_without_config(small_random_population):
+    duopoly = DuopolyGame(small_random_population, 100.0, 0.5)
+    assert duopoly.migration_tolerance == DUOPOLY_MIGRATION_TOLERANCE
+    oligopoly = OligopolyGame(small_random_population, 100.0,
+                              {"a": 0.5, "b": 0.5})
+    assert oligopoly.migration_tolerance == OLIGOPOLY_MIGRATION_TOLERANCE
+    cp_game = CPPartitionGame(small_random_population, 100.0,
+                              PUBLIC_OPTION_STRATEGY, MaxMinFairAllocation())
+    assert cp_game.switching_tolerance == 1e-6
+    assert cp_game.config.switching_tolerance == 1e-6
+
+
+def test_config_overrides_game_default_and_explicit_beats_config(
+        small_random_population):
+    config = SolverConfig(migration_tolerance=1e-5, switching_tolerance=1e-7)
+    duopoly = DuopolyGame(small_random_population, 100.0, 0.5, config=config)
+    assert duopoly.migration_tolerance == 1e-5
+    explicit = DuopolyGame(small_random_population, 100.0, 0.5,
+                           migration_tolerance=1e-2, config=config)
+    assert explicit.migration_tolerance == 1e-2
+    cp_game = CPPartitionGame(small_random_population, 100.0,
+                              PUBLIC_OPTION_STRATEGY, MaxMinFairAllocation(),
+                              config=config)
+    assert cp_game.switching_tolerance == 1e-7
+    cp_explicit = CPPartitionGame(small_random_population, 100.0,
+                                  PUBLIC_OPTION_STRATEGY,
+                                  MaxMinFairAllocation(),
+                                  switching_tolerance=1e-3, config=config)
+    assert cp_explicit.switching_tolerance == 1e-3
+
+
+# --------------------------------------------------------------------------- #
+# Resolution: explicit > ambient > default
+# --------------------------------------------------------------------------- #
+
+def test_resolve_config_prefers_explicit_then_ambient(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    explicit = SolverConfig(switching_tolerance=1e-8)
+    ambient = SolverConfig(switching_tolerance=1e-7)
+    assert active_config() is None
+    assert resolve_config(None) == SolverConfig()
+    with use_config(ambient):
+        assert active_config() is ambient
+        assert resolve_config(None) is ambient
+        assert resolve_config(explicit) is explicit
+    assert active_config() is None
+
+
+def test_games_inherit_ambient_config(small_random_population):
+    ambient = SolverConfig(migration_tolerance=2e-5)
+    with use_config(ambient):
+        game = DuopolyGame(small_random_population, 100.0, 0.5)
+    assert game.config is ambient
+    assert game.migration_tolerance == 2e-5
+
+
+# --------------------------------------------------------------------------- #
+# Cache identity
+# --------------------------------------------------------------------------- #
+
+def test_cache_keys_distinct_across_tolerances():
+    keys = {SolverConfig().cache_key(),
+            SolverConfig(switching_tolerance=1e-7).cache_key(),
+            SolverConfig(surplus_tolerance=1e-8).cache_key(),
+            SolverConfig(bisection_tolerance=1e-12).cache_key(),
+            SolverConfig(migration_tolerance=1e-5).cache_key(),
+            SolverConfig(cache_policy="bypass").cache_key()}
+    assert len(keys) == 6
+
+
+def test_cache_key_is_memoized():
+    config = SolverConfig()
+    assert config.cache_key() is config.cache_key()
+
+
+@pytest.mark.skipif(numba_available(), reason="requires numba to be absent")
+def test_numba_fallback_shares_cache_entries_with_reference():
+    # A numba config that degraded to reference computes identical values,
+    # so it must share cache entries instead of duplicating them.
+    assert SolverConfig(backend="numba").cache_key() == \
+        SolverConfig().cache_key()
+
+
+# --------------------------------------------------------------------------- #
+# Backend registry and graceful fallback
+# --------------------------------------------------------------------------- #
+
+def test_backend_names_and_reference_resolution():
+    assert BACKEND_NAMES == ("reference", "numba")
+    assert get_backend("reference") is reference_backend()
+    assert get_backend(None) is reference_backend()
+    assert "reference" in available_backends()
+    with pytest.raises(ModelValidationError):
+        get_backend("fortran")
+
+
+@pytest.mark.skipif(numba_available(), reason="requires numba to be absent")
+def test_numba_fallback_warns_once(monkeypatch):
+    monkeypatch.setattr(backends_registry, "_WARNED_NUMBA_FALLBACK", False)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        backend = get_backend("numba")
+    assert backend is reference_backend()
+    assert SolverConfig(backend="numba").effective_backend() == "reference"
+    # Second resolution is silent (warn-once).
+    import warnings as _warnings
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        assert get_backend("numba") is reference_backend()
+
+
+# --------------------------------------------------------------------------- #
+# Provenance
+# --------------------------------------------------------------------------- #
+
+def test_reference_provenance_is_stable_and_numba_free():
+    record = SolverConfig().provenance()
+    assert record == {
+        "backend": "reference",
+        "backend_requested": "reference",
+        "cache_policy": "shared",
+        "tolerances": {"migration": None, "switching": 1e-6,
+                       "surplus": 1e-9, "bisection": 1e-13},
+    }
+    assert "numba_version" not in record
+
+
+@pytest.mark.skipif(numba_available(), reason="requires numba to be absent")
+def test_fallback_provenance_records_requested_backend():
+    record = SolverConfig(backend="numba").provenance()
+    assert record["backend"] == "reference"
+    assert record["backend_requested"] == "numba"
+    assert "numba_version" not in record
+
+
+def test_experiment_run_records_solver_provenance():
+    result = get_spec("FIG2").run(scale="smoke")
+    assert result.parameters["solver"] == SolverConfig().provenance()
+    custom = SolverConfig(switching_tolerance=1e-7)
+    result = get_spec("FIG2").run(scale="smoke", config=custom)
+    assert result.parameters["solver"] == custom.provenance()
+
+
+# --------------------------------------------------------------------------- #
+# Cache policy
+# --------------------------------------------------------------------------- #
+
+def test_bypass_policy_matches_shared_results(small_random_population):
+    from repro.core.monopoly import MonopolyGame
+    from repro.core.strategy import ISPStrategy
+
+    strategy = ISPStrategy(kappa=1.0, price=0.4)
+    shared = MonopolyGame(small_random_population, 120.0).outcome(strategy)
+    bypass_game = MonopolyGame(small_random_population, 120.0,
+                               config=SolverConfig(cache_policy="bypass"))
+    bypass = bypass_game.outcome(strategy)
+    assert bypass.isp_surplus == shared.isp_surplus
+    assert bypass.consumer_surplus == shared.consumer_surplus
+
+
+def test_bypass_policy_never_touches_registered_caches(
+        small_random_population):
+    from repro.cache import all_cache_stats
+    from repro.network.equilibrium import cached_subset_equilibrium
+
+    config = SolverConfig(cache_policy="bypass")
+    before = all_cache_stats()
+    cached_subset_equilibrium(small_random_population, None, 123.456,
+                              MaxMinFairAllocation(), config=config)
+    after = all_cache_stats()
+    for name, entry in after.items():
+        assert entry["size"] == before[name]["size"], name
+        assert entry["misses"] == before[name]["misses"], name

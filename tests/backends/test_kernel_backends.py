@@ -1,0 +1,250 @@
+"""Numba-kernel ≡ reference-kernel equivalence to <= 1e-10.
+
+The numba kernels are plain Python functions that get njit-compiled only
+when numba is importable, so this suite runs them *interpreted* through a
+:class:`NumbaBackend` built from the undecorated functions — the kernel
+arithmetic (serial tail summation, inlined binary search, fused bisection)
+is validated even on machines without numba, and since ``njit`` compiles
+exactly this bytecode the compiled path computes the same floating-point
+operations in the same order.
+
+The contract under test: for every profile the backends agree on carried
+loads and solved caps to an absolute-plus-relative tolerance of ``1e-10``
+(they differ only in summation order — numpy's pairwise tree vs. the
+loop's left-to-right accumulation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.backends import NumbaBackend, SolverConfig, reference_backend
+from repro.backends import registry as backends_registry
+from repro.backends.numba_backend import (
+    _kernel_bisect_scalar,
+    _kernel_carried_grid,
+    _kernel_carried_scalar,
+)
+from repro.network.allocation import (
+    MaxMinFairAllocation,
+    ProportionalFairAllocation,
+    WeightedFairAllocation,
+)
+from repro.network.equilibrium import (
+    ExponentialMaxMinProfile,
+    solve_rate_equilibrium,
+)
+from repro.network.provider import ContentProvider, Population
+from repro.workloads.archetypes import archetype_population
+from repro.workloads.populations import PopulationSpec, random_population
+
+#: The backend-contract equivalence bound (absolute + relative).
+TOL = 1e-10
+
+
+def python_numba_backend() -> NumbaBackend:
+    """A NumbaBackend running the uncompiled (interpreted) kernels."""
+    return NumbaBackend((_kernel_carried_scalar, _kernel_carried_grid,
+                         _kernel_bisect_scalar))
+
+
+def make_profiles(alphas, theta_hats, betas):
+    """The same columns wrapped in a reference- and a numba-backed profile."""
+    columns = (np.asarray(alphas, dtype=float),
+               np.asarray(theta_hats, dtype=float),
+               np.asarray(betas, dtype=float))
+    return (ExponentialMaxMinProfile(*columns, backend=reference_backend()),
+            ExponentialMaxMinProfile(*columns, backend=python_numba_backend()))
+
+
+def assert_close(a: float, b: float) -> None:
+    assert a == pytest.approx(b, rel=TOL, abs=TOL)
+
+
+# --------------------------------------------------------------------------- #
+# Fixed workloads, including every edge case the ISSUE names
+# --------------------------------------------------------------------------- #
+
+WORKLOADS = {
+    "archetypes": lambda: archetype_population(),
+    "random40": lambda: random_population(PopulationSpec(count=40), seed=11),
+    "elastic_only": lambda: Population([
+        ContentProvider(name=f"e{i}", alpha=0.5, theta_hat=1.0 + i,
+                        beta=0.0, revenue_rate=0.5, utility_rate=1.0)
+        for i in range(5)]),
+    "stiff_betas": lambda: Population([
+        ContentProvider(name=f"s{i}", alpha=0.2, theta_hat=0.5 * (i + 1),
+                        beta=50.0, revenue_rate=0.5, utility_rate=1.0)
+        for i in range(6)]),
+    "tied_theta_hats": lambda: Population([
+        ContentProvider(name=f"t{i}", alpha=1.0, theta_hat=2.0,
+                        beta=float(i), revenue_rate=0.5, utility_rate=1.0)
+        for i in range(4)]),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_carried_load_equivalence_on_workloads(workload):
+    population = WORKLOADS[workload]()
+    reference, numba_like = make_profiles(
+        population.alphas, population.theta_hats, population.betas)
+    caps = np.concatenate([
+        np.linspace(0.0, 1.5 * reference.upper, 41),
+        [1e-9, reference.upper, 10.0 * reference.upper]])
+    ref_grid = reference.carried(caps)
+    num_grid = numba_like.carried(caps)
+    np.testing.assert_allclose(num_grid, ref_grid, rtol=TOL, atol=TOL)
+    for cap in caps:
+        assert_close(numba_like.carried_scalar(float(cap)),
+                     reference.carried_scalar(float(cap)))
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_solve_cap_equivalence_on_workloads(workload):
+    population = WORKLOADS[workload]()
+    reference, numba_like = make_profiles(
+        population.alphas, population.theta_hats, population.betas)
+    load = reference.unconstrained_load
+    for nu in (0.0, -1.0, 0.05 * load, 0.4 * load, 0.9 * load,
+               load, 2.0 * load):
+        ref_cap = reference.solve_cap(float(nu))
+        num_cap = numba_like.solve_cap(float(nu))
+        if math.isinf(ref_cap) or ref_cap == 0.0:
+            # Uncongested / zero-capacity guards fire identically on both
+            # paths (the numba override replicates them before the kernel).
+            assert num_cap == ref_cap
+        else:
+            assert num_cap == pytest.approx(
+                ref_cap, rel=TOL, abs=TOL * max(1.0, reference.upper))
+            # Both caps must satisfy work conservation to the solver's own
+            # residual tolerance (the fused kernel is a real bisection, not
+            # merely close to the reference's answer).
+            target = min(nu, load)
+            assert abs(numba_like.carried_scalar(num_cap) - target) <= \
+                1e-12 * max(1.0, target)
+
+
+def test_empty_profile_edge_case():
+    reference, numba_like = make_profiles([], [], [])
+    assert numba_like.carried_scalar(1.0) == reference.carried_scalar(1.0) == 0.0
+    assert math.isinf(numba_like.solve_cap(1.0))
+    assert math.isinf(reference.solve_cap(1.0))
+
+
+def test_nonpositive_caps_edge_case():
+    reference, numba_like = make_profiles([1.0, 0.5], [1.0, 3.0], [2.0, 0.0])
+    for cap in (0.0, -1.0):
+        assert reference.carried_scalar(cap) == 0.0
+        assert numba_like.carried_scalar(cap) == 0.0
+    grid = np.array([-1.0, 0.0, 0.5])
+    np.testing.assert_allclose(numba_like.carried(grid),
+                               reference.carried(grid), rtol=TOL, atol=TOL)
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: random columns and targets
+# --------------------------------------------------------------------------- #
+
+columns_st = st.integers(min_value=1, max_value=30).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(min_value=0.01, max_value=2.0),
+                 min_size=n, max_size=n),
+        st.lists(st.floats(min_value=0.05, max_value=20.0),
+                 min_size=n, max_size=n),
+        st.lists(st.floats(min_value=0.0, max_value=30.0),
+                 min_size=n, max_size=n)))
+
+
+@given(columns=columns_st,
+       cap_fraction=st.floats(min_value=0.0, max_value=1.5))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_carried_scalar_property(columns, cap_fraction):
+    reference, numba_like = make_profiles(*columns)
+    cap = cap_fraction * reference.upper
+    assert_close(numba_like.carried_scalar(cap),
+                 reference.carried_scalar(cap))
+
+
+@given(columns=columns_st,
+       nu_fraction=st.floats(min_value=0.0, max_value=1.2))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_solve_cap_property(columns, nu_fraction):
+    reference, numba_like = make_profiles(*columns)
+    nu = nu_fraction * reference.unconstrained_load
+    ref_cap = reference.solve_cap(float(nu))
+    num_cap = numba_like.solve_cap(float(nu))
+    if math.isinf(ref_cap) or math.isinf(num_cap):
+        assert math.isinf(ref_cap) == math.isinf(num_cap)
+    else:
+        assert num_cap == pytest.approx(
+            ref_cap, rel=1e-9, abs=1e-9 * max(1.0, reference.upper))
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: a numba-backed config through the full solver stack
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture
+def simulated_numba(monkeypatch):
+    """Make get_backend('numba') resolve to the interpreted kernels."""
+    backend = python_numba_backend()
+    monkeypatch.setattr(backends_registry, "load_numba_backend",
+                        lambda: backend)
+    return SolverConfig(backend="numba")
+
+
+@pytest.mark.parametrize("mechanism_factory", [
+    MaxMinFairAllocation,
+    ProportionalFairAllocation,
+    lambda: WeightedFairAllocation({}, default_weight=2.0),
+], ids=["maxmin", "proportional", "weighted"])
+def test_rate_equilibrium_matches_reference_across_mechanisms(
+        simulated_numba, mechanism_factory):
+    population = random_population(PopulationSpec(count=30), seed=23)
+    mechanism = mechanism_factory()
+    load = population.unconstrained_per_capita_load
+    for nu in (0.0, 0.3 * load, 0.8 * load, 1.5 * load):
+        ref = solve_rate_equilibrium(population, nu, mechanism)
+        alt = solve_rate_equilibrium(population, nu, mechanism,
+                                     config=simulated_numba)
+        assert alt.aggregate_rate == pytest.approx(
+            ref.aggregate_rate, rel=TOL, abs=TOL)
+        np.testing.assert_allclose(alt.thetas, ref.thetas,
+                                   rtol=1e-9, atol=1e-9)
+
+
+def test_monopoly_outcome_matches_reference(simulated_numba):
+    from repro.core.monopoly import MonopolyGame
+    from repro.core.strategy import ISPStrategy
+
+    population = random_population(PopulationSpec(count=30), seed=29)
+    strategy = ISPStrategy(kappa=0.8, price=0.35)
+    ref = MonopolyGame(population, 100.0).outcome(strategy)
+    alt = MonopolyGame(population, 100.0,
+                       config=simulated_numba).outcome(strategy)
+    assert alt.isp_surplus == pytest.approx(ref.isp_surplus,
+                                            rel=TOL, abs=TOL)
+    assert alt.consumer_surplus == pytest.approx(ref.consumer_surplus,
+                                                 rel=TOL, abs=TOL)
+
+
+def test_simulated_backend_has_its_own_profile_cache(simulated_numba):
+    from repro.network.equilibrium import common_cap_profile
+
+    population = archetype_population()
+    mechanism = MaxMinFairAllocation()
+    ref_profile = common_cap_profile(population, mechanism)
+    alt_profile = common_cap_profile(population, mechanism,
+                                     config=simulated_numba)
+    # One cached profile per backend name — reference and numba entries
+    # never alias.
+    assert ref_profile is not alt_profile
+    assert ref_profile is common_cap_profile(population, mechanism)
+    assert alt_profile is common_cap_profile(population, mechanism,
+                                             config=simulated_numba)

@@ -85,6 +85,35 @@ class TestMain:
         assert payload["experiment_id"] == "FIG2"
         assert payload["schema"] == 1
 
+    def test_run_backend_flag_recorded_in_artifact(self, capsys):
+        assert main(["run", "FIG2", "--scale", "smoke", "--backend",
+                     "reference", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        solver = payload["parameters"]["solver"]
+        assert solver["backend_requested"] == "reference"
+        assert solver["backend"] == "reference"
+        assert solver["tolerances"]["bisection"] == 1e-13
+
+    def test_run_without_backend_flag_still_records_solver(self, capsys):
+        assert main(["run", "FIG2", "--scale", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameters"]["solver"]["backend"] == "reference"
+
+    def test_unknown_backend_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "FIG2", "--backend", "fortran"])
+
+    def test_reproduce_all_backend_flag_in_manifest(self, tmp_path, capsys):
+        assert main(["reproduce-all", "--scale", "smoke", "--only", "FIG2",
+                     "--backend", "reference",
+                     "--output", str(tmp_path)]) == 0
+        manifest = json.loads(
+            (tmp_path / "smoke" / "manifest.json").read_text())
+        assert manifest["solver"]["backend_requested"] == "reference"
+        artifact = json.loads((tmp_path / "smoke" / "FIG2.json").read_text())
+        assert artifact["parameters"]["solver"]["backend"] == "reference"
+
     def test_population_command(self, capsys):
         assert main(["population", "--count", "50"]) == 0
         output = capsys.readouterr().out

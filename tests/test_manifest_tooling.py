@@ -11,7 +11,7 @@ SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "manifest_
 
 
 def write_manifest(path: pathlib.Path, entries: dict[str, str],
-                   scale: str = "smoke") -> None:
+                   scale: str = "smoke", solver: dict | None = None) -> None:
     payload = {
         "schema": 1,
         "kind": "repro-netneutrality/run-manifest",
@@ -22,6 +22,8 @@ def write_manifest(path: pathlib.Path, entries: dict[str, str],
             for name, sha in entries.items()
         },
     }
+    if solver is not None:
+        payload["solver"] = solver
     path.write_text(json.dumps(payload), encoding="utf-8")
 
 
@@ -66,6 +68,27 @@ class TestManifestDiff:
         result = run_diff(str(golden), str(current))
         assert result.returncode == 1
         assert "scale mismatch" in result.stdout
+
+    def test_fails_on_solver_mismatch(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        current = tmp_path / "current.json"
+        write_manifest(golden, {"FIG2": "a" * 64},
+                       solver={"backend": "reference"})
+        write_manifest(current, {"FIG2": "a" * 64},
+                       solver={"backend": "numba"})
+        result = run_diff(str(golden), str(current))
+        assert result.returncode == 1
+        assert "solver mismatch" in result.stdout
+
+    def test_solver_absent_in_both_is_ok(self, tmp_path):
+        # Pre-backend manifests carry no solver block; comparing two of
+        # them must not trip the solver check.
+        golden = tmp_path / "golden.json"
+        current = tmp_path / "current.json"
+        write_manifest(golden, {"FIG2": "a" * 64})
+        write_manifest(current, {"FIG2": "a" * 64})
+        result = run_diff(str(golden), str(current))
+        assert result.returncode == 0
 
     def test_rejects_non_manifest_file(self, tmp_path):
         golden = tmp_path / "golden.json"
