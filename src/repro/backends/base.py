@@ -29,7 +29,8 @@ environment variable.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+from typing import (TYPE_CHECKING, Callable, Optional, Protocol,
+                    runtime_checkable)
 
 import numpy as np
 
@@ -52,18 +53,24 @@ class KernelBackend(Protocol):
     #: Stable backend identifier used in cache keys and solver provenance.
     name: str
 
-    #: Fused scalar bisection, or ``None`` when the backend has no fused
-    #: path (the profile then runs the generic ``solve_cap`` loop over
-    #: :meth:`carried_scalar`).  Signature when present::
-    #:
-    #:     bisect_scalar(profile, target, iterations,
-    #:                   residual_tolerance, width_tolerance) -> float
-    #:
-    #: with the same bracket ``[0, profile.upper]``, the same mid-point
-    #: update order and the same residual/width stopping rules as
-    #: ``CommonCapProfile.solve_cap`` (guards for empty/uncongested/zero
-    #: targets are handled by the caller).
-    bisect_scalar: Optional[object]
+    @property
+    def bisect_scalar(self) -> Optional[Callable[..., float]]:
+        """Fused scalar bisection, or ``None`` for no fused path.
+
+        When ``None`` the profile runs the generic ``solve_cap`` loop over
+        :meth:`carried_scalar`.  Signature when present::
+
+            bisect_scalar(profile, target, iterations,
+                          residual_tolerance, width_tolerance) -> float
+
+        with the same bracket ``[0, profile.upper]``, the same mid-point
+        update order and the same residual/width stopping rules as
+        ``CommonCapProfile.solve_cap`` (guards for empty/uncongested/zero
+        targets are handled by the caller).  Declared as a read-only
+        property so a plain ``bisect_scalar = None`` class attribute and a
+        bound method both satisfy the protocol structurally.
+        """
+        ...
 
     def carried_scalar(self, profile: "ExponentialMaxMinProfile",
                        cap: float) -> float:

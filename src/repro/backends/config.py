@@ -19,6 +19,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.backends.base import KernelBackend
 from repro.backends.numba_backend import numba_version
 from repro.backends.registry import BACKEND_NAMES, get_backend
 from repro.errors import ModelValidationError
@@ -100,7 +101,7 @@ class SolverConfig:
 
     # -- backend resolution ------------------------------------------------ #
 
-    def backend_instance(self):
+    def backend_instance(self) -> KernelBackend:
         """The live :class:`KernelBackend` this config resolves to."""
         return get_backend(self.backend)
 

@@ -24,9 +24,12 @@ machines (like the no-numba CI lane) where the JIT path cannot execute.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.network.equilibrium import ExponentialMaxMinProfile
 
 __all__ = ["NumbaBackend", "load_numba_backend", "numba_available",
            "numba_version"]
@@ -40,7 +43,9 @@ __all__ = ["NumbaBackend", "load_numba_backend", "numba_available",
 # count is an inlined ``side="right"`` binary search on the sorted
 # ``theta_hats``.
 
-def _kernel_carried_scalar(theta_hats, alphas, betas, prefix, cap):
+def _kernel_carried_scalar(theta_hats: np.ndarray, alphas: np.ndarray,
+                           betas: np.ndarray, prefix: np.ndarray,
+                           cap: float) -> float:
     if cap <= 0.0:
         return 0.0
     n = theta_hats.shape[0]
@@ -58,7 +63,9 @@ def _kernel_carried_scalar(theta_hats, alphas, betas, prefix, cap):
     return total
 
 
-def _kernel_carried_grid(theta_hats, alphas, betas, prefix, caps):
+def _kernel_carried_grid(theta_hats: np.ndarray, alphas: np.ndarray,
+                         betas: np.ndarray, prefix: np.ndarray,
+                         caps: np.ndarray) -> np.ndarray:
     n = theta_hats.shape[0]
     out = np.empty(caps.shape[0])
     for g in range(caps.shape[0]):
@@ -82,8 +89,11 @@ def _kernel_carried_grid(theta_hats, alphas, betas, prefix, caps):
     return out
 
 
-def _kernel_bisect_scalar(theta_hats, alphas, betas, prefix, upper, target,
-                          iterations, residual_tolerance, width_tolerance):
+def _kernel_bisect_scalar(theta_hats: np.ndarray, alphas: np.ndarray,
+                          betas: np.ndarray, prefix: np.ndarray, upper: float,
+                          target: float, iterations: int,
+                          residual_tolerance: float,
+                          width_tolerance: float) -> float:
     n = theta_hats.shape[0]
     low = 0.0
     high = upper
@@ -115,12 +125,12 @@ def _kernel_bisect_scalar(theta_hats, alphas, betas, prefix, upper, target,
 # --------------------------------------------------------------------------- #
 # Lazy import / compilation
 # --------------------------------------------------------------------------- #
-_NUMBA_MODULE = None
+_NUMBA_MODULE: Any = None
 _NUMBA_CHECKED = False
-_COMPILED: Optional[tuple] = None
+_COMPILED: Optional[Tuple[Any, Any, Any]] = None
 
 
-def _numba_module():
+def _numba_module() -> Any:
     """The ``numba`` module, imported lazily; ``None`` when unavailable."""
     global _NUMBA_MODULE, _NUMBA_CHECKED
     if not _NUMBA_CHECKED:
@@ -145,7 +155,7 @@ def numba_version() -> Optional[str]:
     return getattr(module, "__version__", None) if module is not None else None
 
 
-def _compiled_kernels() -> Optional[tuple]:
+def _compiled_kernels() -> Optional[Tuple[Any, Any, Any]]:
     """The njit-compiled kernel triple (compiled once per process)."""
     global _COMPILED
     if _COMPILED is None:
@@ -164,20 +174,23 @@ class NumbaBackend:
 
     name = "numba"
 
-    def __init__(self, kernels: tuple) -> None:
+    def __init__(self, kernels: Tuple[Any, Any, Any]) -> None:
         self._carried_scalar, self._carried_grid, self._bisect = kernels
 
-    def carried_scalar(self, profile, cap: float) -> float:
+    def carried_scalar(self, profile: ExponentialMaxMinProfile,
+                       cap: float) -> float:
         return float(self._carried_scalar(
             profile._theta_hats, profile._alphas, profile._betas,
             profile._prefix, float(cap)))
 
-    def carried_grid(self, profile, caps: np.ndarray) -> np.ndarray:
+    def carried_grid(self, profile: ExponentialMaxMinProfile,
+                     caps: np.ndarray) -> np.ndarray:
         return self._carried_grid(
             profile._theta_hats, profile._alphas, profile._betas,
             profile._prefix, np.ascontiguousarray(caps, dtype=np.float64))
 
-    def bisect_scalar(self, profile, target: float, iterations: int,
+    def bisect_scalar(self, profile: ExponentialMaxMinProfile,
+                      target: float, iterations: int,
                       residual_tolerance: float,
                       width_tolerance: float) -> float:
         return float(self._bisect(

@@ -11,7 +11,12 @@ keeps its masked two-dimensional tail evaluation.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.network.equilibrium import ExponentialMaxMinProfile
 
 __all__ = ["ReferenceBackend", "reference_backend"]
 
@@ -25,7 +30,8 @@ class ReferenceBackend:
     #: :meth:`carried_scalar` directly, exactly as before the backend layer.
     bisect_scalar = None
 
-    def carried_scalar(self, profile, cap: float) -> float:
+    def carried_scalar(self, profile: ExponentialMaxMinProfile,
+                       cap: float) -> float:
         """Scalar twin of :meth:`carried_grid`, bit-identical per evaluation.
 
         The one-element vector path reduces a ``(1, tail)`` row with the
@@ -55,7 +61,8 @@ class ReferenceBackend:
         np.multiply(buffer, cap, out=buffer)
         return float(saturated + np.add.reduce(buffer))
 
-    def carried_grid(self, profile, caps: np.ndarray) -> np.ndarray:
+    def carried_grid(self, profile: ExponentialMaxMinProfile,
+                     caps: np.ndarray) -> np.ndarray:
         theta_hats = profile._theta_hats
         saturated_counts = np.searchsorted(theta_hats, caps, side="right")
         saturated = profile._prefix[saturated_counts]

@@ -9,8 +9,9 @@ or ``REPRO_BACKEND=numba`` written for an accelerated machine still runs
 from __future__ import annotations
 
 import warnings
-from typing import List
+from typing import List, Optional
 
+from repro.backends.base import KernelBackend
 from repro.backends.numba_backend import load_numba_backend
 from repro.backends.reference import reference_backend
 from repro.errors import ModelValidationError
@@ -23,7 +24,7 @@ BACKEND_NAMES = ("reference", "numba")
 _WARNED_NUMBA_FALLBACK = False
 
 
-def get_backend(name: str = "reference"):
+def get_backend(name: Optional[str] = "reference") -> KernelBackend:
     """Resolve a backend name to a live :class:`KernelBackend`.
 
     ``"numba"`` falls back to the reference backend (with a one-time

@@ -11,7 +11,7 @@ tuples instead and exposes hit/miss counters for the benchmark harness.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 __all__ = ["LRUCache", "clear_all_caches", "all_cache_stats"]
 
@@ -28,7 +28,7 @@ def clear_all_caches() -> None:
         cache.clear()
 
 
-def all_cache_stats() -> dict:
+def all_cache_stats() -> Dict[str, Dict[str, Any]]:
     """Hit/miss statistics of every registered solver cache, by name."""
     return {name: cache.stats() for name, cache in _REGISTRY.items()}
 
@@ -48,7 +48,7 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 0 or None, got {maxsize!r}")
         self.maxsize = maxsize
         self.name = name
-        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         if name is not None:
@@ -60,7 +60,7 @@ class LRUCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
-    def get(self, key: Hashable, default: object = None) -> object:
+    def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
@@ -70,7 +70,7 @@ class LRUCache:
         self.hits += 1
         return value
 
-    def put(self, key: Hashable, value: object) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key`` (evicting the least recently used entry if full)."""
         if self.maxsize == 0:
             return
@@ -80,7 +80,7 @@ class LRUCache:
         if self.maxsize is not None and len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
-    def get_or_compute(self, key: Hashable, compute) -> object:
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing a miss.
 
         ``compute`` is a zero-argument callable invoked only on a miss; hit
@@ -102,7 +102,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         """Counters for reports: size, hits, misses and the hit rate."""
         total = self.hits + self.misses
         return {

@@ -28,7 +28,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.backends import BACKEND_NAMES, SolverConfig
 from repro.cache import all_cache_stats
@@ -146,10 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
     population_parser.add_argument("--count", type=int, default=1000)
     population_parser.add_argument("--utility-model", default="beta_correlated",
                                    choices=("beta_correlated", "independent"))
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the solver-invariant static analysis (rules RL001-RL006)")
+    lint_parser.add_argument("paths", nargs="*", default=["src"],
+                             help="files or directories to lint (default: src)")
+    lint_parser.add_argument("--select", action="append", metavar="CODES",
+                             default=None,
+                             help="run only these rule codes (comma list, "
+                                  "repeatable)")
+    lint_parser.add_argument("--ignore", action="append", metavar="CODES",
+                             default=None,
+                             help="skip these rule codes (comma list, "
+                                  "repeatable)")
+    lint_parser.add_argument("--format", dest="output_format", default="text",
+                             choices=("text", "json"),
+                             help="report format (default: text)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the registered rules and exit")
     return parser
 
 
-def format_cache_stats(stats: Optional[dict] = None, *,
+def format_cache_stats(stats: Optional[Dict[str, Dict[str, Any]]] = None, *,
                        as_json: bool = False) -> str:
     """Render ``repro.cache.all_cache_stats()`` as a table (or JSON).
 
@@ -263,6 +282,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"Paper's monopoly-side ordering (public option >= neutral >= "
                   f"unregulated) {ordering} at nu={args.nu:g}.")
             return 0
+        if args.command == "lint":
+            from repro.lint.cli import run as run_lint
+            return run_lint(args)
         if args.command == "population":
             population = paper_population(count=args.count,
                                           utility_model=args.utility_model)

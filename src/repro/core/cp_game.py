@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Any, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.backends.config import SolverConfig, resolve_config
 from repro.cache import LRUCache
-from repro.errors import EquilibriumError, ModelValidationError
+from repro.errors import ModelValidationError
 from repro.core.strategy import ISPStrategy
 from repro.network.allocation import (
     CommonCapAllocation,
@@ -56,6 +56,12 @@ __all__ = [
 #: documented default of ``SolverConfig.surplus_tolerance``; per game it is
 #: read from the config (``self._utility_tolerance``).
 _UTILITY_TOLERANCE = 1e-9
+
+#: Relative slack on the premium class's capacity-saturation predicate.
+_SATURATION_TOLERANCE = 1e-6
+
+#: Floor of the relative-utility scale, guarding zero-utility CPs.
+_UTILITY_SCALE_FLOOR = 1e-12
 
 #: Memoised second-stage outcomes.  The game is deterministic in its inputs,
 #: so sharing an outcome across identical (population, nu, strategy, solver
@@ -119,7 +125,7 @@ class PartitionOutcome:
         capacity = self.premium_capacity
         if capacity <= 0.0:
             return True
-        return self.premium_carried_rate >= capacity * (1.0 - 1e-6)
+        return self.premium_carried_rate >= capacity * (1.0 - _SATURATION_TOLERANCE)
 
     @property
     def capacity_utilization(self) -> float:
@@ -364,7 +370,7 @@ class CPPartitionGame:
         gap (for damping), so they evaluate :meth:`_class_utilities` once per
         iteration and share the arrays between the two.
         """
-        scale = np.maximum(1.0e-12,
+        scale = np.maximum(_UTILITY_SCALE_FLOOR,
                            np.maximum(np.abs(ordinary_utility),
                                       np.abs(premium_utility)))
         margin_into_premium = self._impact_tolerance(self.premium_nu) * scale
@@ -418,7 +424,7 @@ class CPPartitionGame:
     # ------------------------------------------------------------------ #
     # Outcome memoisation
     # ------------------------------------------------------------------ #
-    def _outcome_key(self, kind: str, extra: tuple) -> tuple:
+    def _outcome_key(self, kind: str, extra: tuple[Any, ...]) -> tuple[Any, ...]:
         """Cache key identifying this game instance and solver configuration.
 
         Everything that can influence the computed outcome is included, so a
@@ -433,7 +439,7 @@ class CPPartitionGame:
 
     @staticmethod
     def _initial_key(initial_premium: Optional[Iterable[int]]
-                     ) -> Optional[tuple]:
+                     ) -> Optional[tuple[int, ...]]:
         if initial_premium is None:
             return None
         return tuple(sorted({int(i) for i in initial_premium}))
@@ -476,7 +482,7 @@ class CPPartitionGame:
 
     def _competitive_equilibrium_uncached(
             self, max_iterations: int, repair_budget: Optional[int],
-            initial_premium: Optional[tuple]) -> PartitionOutcome:
+            initial_premium: Optional[tuple[int, ...]]) -> PartitionOutcome:
         size = len(self.population)
         if size == 0 or self.nu == 0.0:
             return self._build_outcome(np.zeros(size, dtype=bool),
@@ -606,7 +612,7 @@ class CPPartitionGame:
             utility_premium = (provider.revenue_rate - price) * rho_premium
             current = utility_premium if in_premium else utility_ordinary
             alternative = utility_ordinary if in_premium else utility_premium
-            scale = max(abs(current), abs(alternative), 1e-12)
+            scale = max(abs(current), abs(alternative), _UTILITY_SCALE_FLOOR)
             gains[name] = (alternative - current) / scale
         return gains
 
@@ -644,7 +650,7 @@ class CPPartitionGame:
         )  # type: ignore[return-value]
 
     def _nash_equilibrium_uncached(self, max_passes: int,
-                                   initial_premium: Optional[tuple]
+                                   initial_premium: Optional[tuple[int, ...]]
                                    ) -> PartitionOutcome:
         size = len(self.population)
         mask = np.zeros(size, dtype=bool)
@@ -700,7 +706,7 @@ def competitive_equilibrium(population: Population, nu: float,
                             strategy: ISPStrategy,
                             mechanism: Optional[RateAllocationMechanism] = None,
                             config: Optional[SolverConfig] = None,
-                            **kwargs) -> PartitionOutcome:
+                            **kwargs: Any) -> PartitionOutcome:
     """Convenience wrapper: competitive equilibrium of ``(M, mu, N, s_I)``."""
     game = CPPartitionGame(population, nu, strategy, mechanism, config=config)
     return game.competitive_equilibrium(**kwargs)
@@ -709,7 +715,7 @@ def competitive_equilibrium(population: Population, nu: float,
 def nash_equilibrium(population: Population, nu: float, strategy: ISPStrategy,
                      mechanism: Optional[RateAllocationMechanism] = None,
                      config: Optional[SolverConfig] = None,
-                     **kwargs) -> PartitionOutcome:
+                     **kwargs: Any) -> PartitionOutcome:
     """Convenience wrapper: Nash equilibrium of ``(M, mu, N, s_I)``."""
     game = CPPartitionGame(population, nu, strategy, mechanism, config=config)
     return game.nash_equilibrium(**kwargs)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
@@ -275,7 +275,7 @@ class DuopolyGame:
 
     def alignment_report(self, strategies: Sequence[ISPStrategy],
                          opponent_strategy: ISPStrategy = PUBLIC_OPTION_STRATEGY
-                         ) -> dict:
+                         ) -> Dict[str, Any]:
         """Theorem 5 check: compare the market-share and surplus optima.
 
         Returns the two best responses and the consumer-surplus shortfall of

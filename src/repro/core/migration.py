@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
@@ -42,6 +42,16 @@ DEFAULT_MIN_SHARE = 1e-4
 #: Default relative tolerance on the surplus equalisation (overridable per
 #: call or via ``SolverConfig.migration_tolerance``).
 DEFAULT_MIGRATION_TOLERANCE = 1e-4
+
+#: Share-bracket width at which the duopoly bisection stops even when the
+#: surplus gap has not hit tolerance (the gap has O(1/N) discontinuities).
+_DUOPOLY_SHARE_WIDTH = 1e-5
+
+#: Floor of the relative-surplus scale, guarding the all-zero-surplus case.
+_SURPLUS_SCALE_FLOOR = 1e-12
+
+#: Slack allowed when checking that capacity shares sum to one.
+_SHARE_SUM_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -114,7 +124,7 @@ def isp_outcome_at_share(population: Population, total_nu: float, isp: IspConfig
                          share: float,
                          mechanism: Optional[RateAllocationMechanism] = None,
                          min_share: float = DEFAULT_MIN_SHARE,
-                         initial_premium=None,
+                         initial_premium: Optional[Iterable[int]] = None,
                          config: Optional[SolverConfig] = None
                          ) -> PartitionOutcome:
     """Second-stage outcome at ISP ``isp`` when it holds market share ``share``.
@@ -133,7 +143,9 @@ def isp_outcome_at_share(population: Population, total_nu: float, isp: IspConfig
 
 
 def _surplus_at_share(population: Population, total_nu: float, isp: IspConfig,
-                      share: float, mechanism, min_share: float,
+                      share: float,
+                      mechanism: Optional[RateAllocationMechanism],
+                      min_share: float,
                       config: Optional[SolverConfig] = None) -> float:
     """Consumer surplus at an ISP holding ``share`` of the consumers.
 
@@ -150,7 +162,8 @@ def _surplus_at_share(population: Population, total_nu: float, isp: IspConfig,
 
 def _build_split(population: Population, total_nu: float,
                  isps: Sequence[IspConfig], shares: Dict[str, float],
-                 mechanism, min_share: float, converged: bool,
+                 mechanism: Optional[RateAllocationMechanism],
+                 min_share: float, converged: bool,
                  iterations: int,
                  config: Optional[SolverConfig] = None) -> MarketSplit:
     outcomes = {
@@ -176,7 +189,8 @@ def _build_split(population: Population, total_nu: float,
 
 
 def _solve_duopoly(population: Population, total_nu: float,
-                   first: IspConfig, second: IspConfig, mechanism,
+                   first: IspConfig, second: IspConfig,
+                   mechanism: Optional[RateAllocationMechanism],
                    min_share: float, tolerance: float,
                    max_iterations: int,
                    config: Optional[SolverConfig] = None) -> MarketSplit:
@@ -216,7 +230,7 @@ def _solve_duopoly(population: Population, total_nu: float,
             low = mid
         else:
             high = mid
-        if high - low <= 1e-5:
+        if high - low <= _DUOPOLY_SHARE_WIDTH:
             break
     share_first = 0.5 * (low + high)
     shares = {first.name: share_first, second.name: 1.0 - share_first}
@@ -226,7 +240,9 @@ def _solve_duopoly(population: Population, total_nu: float,
 
 
 def _solve_multi(population: Population, total_nu: float,
-                 isps: Sequence[IspConfig], mechanism, min_share: float,
+                 isps: Sequence[IspConfig],
+                 mechanism: Optional[RateAllocationMechanism],
+                 min_share: float,
                  tolerance: float, max_iterations: int,
                  config: Optional[SolverConfig] = None) -> MarketSplit:
     """Tatonnement on market shares for three or more ISPs.
@@ -250,7 +266,7 @@ def _solve_multi(population: Population, total_nu: float,
             for isp in isps
         }
         mean = sum(shares[name] * surpluses[name] for name in shares)
-        scale = max(mean, max(surpluses.values()), 1e-12)
+        scale = max(mean, max(surpluses.values()), _SURPLUS_SCALE_FLOOR)
         residual = max(abs(surpluses[isp.name] - mean) for isp in isps
                        if shares[isp.name] > 2.0 * min_share) \
             if any(shares[isp.name] > 2.0 * min_share for isp in isps) else 0.0
@@ -306,7 +322,7 @@ def solve_market_split(population: Population, total_nu: float,
     if len(set(names)) != len(names):
         raise ModelValidationError("ISP names must be unique")
     total_share = sum(isp.capacity_share for isp in isps)
-    if abs(total_share - 1.0) > 1e-9:
+    if abs(total_share - 1.0) > _SHARE_SUM_TOLERANCE:
         raise ModelValidationError(
             f"capacity shares must sum to 1, got {total_share!r}"
         )

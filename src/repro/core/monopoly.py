@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
@@ -181,7 +181,7 @@ class MonopolyGame:
     # ------------------------------------------------------------------ #
     def verify_kappa_dominance(self, price: float,
                                kappas: Sequence[float],
-                               tolerance: float = 1e-9) -> dict:
+                               tolerance: float = 1e-9) -> Dict[str, Any]:
         """Numerically check Theorem 4 at a fixed price.
 
         Returns a report with the revenue at each ``kappa``; ``holds`` is

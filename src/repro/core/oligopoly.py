@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.backends.config import SolverConfig, resolve_config
 from repro.errors import ModelValidationError
@@ -39,6 +39,12 @@ __all__ = ["OligopolyOutcome", "OligopolyGame",
 #: Equation (9), so it runs at a looser tolerance than the duopoly's exact
 #: share bisection (``DUOPOLY_MIGRATION_TOLERANCE`` = 1e-4).
 OLIGOPOLY_MIGRATION_TOLERANCE = 1e-3
+
+#: Slack allowed when checking that capacity shares sum to one.
+_SHARE_SUM_TOLERANCE = 1e-9
+
+#: Floor of the relative-surplus scale in the imposed-shares diagnostic.
+_SURPLUS_SCALE_FLOOR = 1e-12
 
 
 @dataclass(frozen=True)
@@ -111,7 +117,7 @@ class OligopolyGame:
         if not capacity_shares:
             raise ModelValidationError("at least one ISP is required")
         total = sum(capacity_shares.values())
-        if abs(total - 1.0) > 1e-9:
+        if abs(total - 1.0) > _SHARE_SUM_TOLERANCE:
             raise ModelValidationError(
                 f"capacity shares must sum to 1, got {total!r}")
         for name, share in capacity_shares.items():
@@ -224,7 +230,7 @@ class OligopolyGame:
     # Lemma 4 verification
     # ------------------------------------------------------------------ #
     def verify_proportional_shares(self, strategy: ISPStrategy,
-                                   tolerance: float = 5e-3) -> dict:
+                                   tolerance: float = 5e-3) -> Dict[str, Any]:
         """Check Lemma 4: ``m_I = gamma_I`` is an equilibrium under homogeneous
         strategies.
 
@@ -248,7 +254,7 @@ class OligopolyGame:
         surpluses = {name: outcome.consumer_surplus
                      for name, outcome in outcomes.items()}
         values = list(surpluses.values())
-        scale = max(max(abs(v) for v in values), 1e-12)
+        scale = max(max(abs(v) for v in values), _SURPLUS_SCALE_FLOOR)
         gap = (max(values) - min(values)) / scale
         solver_outcome = self.homogeneous_outcome(strategy)
         return {

@@ -15,7 +15,7 @@ benchmark and the ``monopoly_regulation`` example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.backends.config import SolverConfig
 from repro.errors import ModelValidationError
@@ -54,7 +54,7 @@ class RegimeComparison:
     def add(self, result: RegimeResult) -> None:
         self.results[result.regime] = result
 
-    def ranking(self) -> list:
+    def ranking(self) -> List[RegimeResult]:
         """Regimes sorted by consumer surplus, best first."""
         return sorted(self.results.values(),
                       key=lambda r: r.consumer_surplus, reverse=True)

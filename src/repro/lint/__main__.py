@@ -1,0 +1,14 @@
+"""``python -m repro.lint`` — run the solver-invariant lint pass.
+
+Exit codes: 0 (clean), 1 (findings), 2 (usage error: unknown rule code,
+missing path, unparseable file).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

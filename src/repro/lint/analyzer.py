@@ -1,0 +1,116 @@
+"""Lint driver: file discovery, suppression parsing and rule dispatch.
+
+The analyzer parses each file once, runs every applicable rule over the
+AST (rules scope themselves by path, see :mod:`repro.lint.rules`), and
+filters the findings through line-level suppressions and the caller's
+``--select`` / ``--ignore`` sets.
+
+Suppressions are trailing comments of the form::
+
+    risky_line()  # repro-lint: disable=RL001
+    other_line()  # repro-lint: disable=RL002,RL005   (comma list)
+
+and silence only the named codes on that physical line.  The policy
+(justify every suppression) is documented in ``CONTRIBUTING.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path, PurePath
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.rules import RULES, Finding, rule_codes
+
+__all__ = ["LintError", "lint_source", "lint_paths", "resolve_codes",
+           "suppressed_codes"]
+
+_SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class LintError(Exception):
+    """A usage error (unknown rule code, unreadable path, syntax error)."""
+
+
+def resolve_codes(select: Optional[Sequence[str]] = None,
+                  ignore: Optional[Sequence[str]] = None) -> FrozenSet[str]:
+    """The set of active rule codes implied by ``--select`` / ``--ignore``."""
+    known = set(rule_codes())
+    for label, values in (("--select", select), ("--ignore", ignore)):
+        unknown = set(values or ()) - known
+        if unknown:
+            raise LintError(
+                f"unknown rule code(s) for {label}: {', '.join(sorted(unknown))}; "
+                f"known codes: {', '.join(sorted(known))}")
+    active = set(select) if select else known
+    active -= set(ignore or ())
+    return frozenset(active)
+
+
+def suppressed_codes(source: str) -> Dict[int, Set[str]]:
+    """Per-line suppressed rule codes (1-based line numbers)."""
+    suppressions: Dict[int, Set[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = {token.strip().upper()
+                 for token in match.group(1).split(",") if token.strip()}
+        if codes:
+            suppressions[line_number] = codes
+    return suppressions
+
+
+def lint_source(source: str, path: PurePath,
+                codes: Optional[FrozenSet[str]] = None) -> List[Finding]:
+    """Lint one file's source text; returns findings sorted by location."""
+    active = codes if codes is not None else frozenset(rule_codes())
+    try:
+        module = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise LintError(f"cannot parse {path}: {error}") from error
+    suppressions = suppressed_codes(source)
+    findings = []
+    for code in sorted(active):
+        rule = RULES[code]
+        if not rule.applies_to(path):
+            continue
+        for line, column, message in rule.check(module, path):
+            if code in suppressions.get(line, set()):
+                continue
+            findings.append(Finding(path=str(path), line=line, column=column,
+                                    code=code, message=message))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return findings
+
+
+def _python_files(target: Path) -> Iterable[Path]:
+    if target.is_dir():
+        return sorted(p for p in target.rglob("*.py") if p.is_file())
+    return [target]
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint files and directories (recursively); returns sorted findings.
+
+    Raises :class:`LintError` on unknown rule codes, missing paths, or
+    files that do not parse.
+    """
+    codes = resolve_codes(select, ignore)
+    findings: List[Finding] = []
+    for raw in paths:
+        target = Path(raw)
+        if not target.exists():
+            raise LintError(f"no such file or directory: {raw}")
+        for file_path in _python_files(target):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                raise LintError(f"cannot read {file_path}: {error}") from error
+            findings.extend(lint_source(source, file_path, codes))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return findings

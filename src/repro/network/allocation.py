@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +46,21 @@ __all__ = [
 _BISECTION_ITERATIONS = 200
 _BISECTION_TOLERANCE = 1e-12
 
+#: Slack allowed on the demand-profile range check (rounding noise from the
+#: demand kernels may leave values epsilon outside [0, 1]).
+_DEMAND_RANGE_SLACK = 1e-12
+
+#: Slack below the offered load within which a capacity counts as
+#: uncongested (every provider then gets its unconstrained throughput).
+_UNCONGESTED_SLACK = 1e-15
+
+#: Division guard for zero allocation weights (never reached for positive
+#: weights; keeps the vectorised quotient finite).
+_WEIGHT_FLOOR = 1e-300
+
+#: Smallest damping factor the fixed-point iteration backs off to.
+_DAMPING_FLOOR = 1e-4
+
 
 def _validate_inputs(population: Population, demands: Sequence[float],
                      nu: float) -> np.ndarray:
@@ -55,7 +70,8 @@ def _validate_inputs(population: Population, demands: Sequence[float],
         raise ModelValidationError(
             f"demand profile has shape {demands_arr.shape}, expected ({len(population)},)"
         )
-    if np.any(demands_arr < -1e-12) or np.any(demands_arr > 1.0 + 1e-12):
+    if (np.any(demands_arr < -_DEMAND_RANGE_SLACK)
+            or np.any(demands_arr > 1.0 + _DEMAND_RANGE_SLACK)):
         raise ModelValidationError("demands must lie in [0, 1]")
     if not math.isfinite(nu) or nu < 0.0:
         raise ModelValidationError(f"per-capita capacity must be >= 0, got {nu!r}")
@@ -65,7 +81,7 @@ def _validate_inputs(population: Population, demands: Sequence[float],
 class RateAllocationMechanism(ABC):
     """Base class for rate-allocation mechanisms (Definition 1)."""
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         """Hashable value identifying this mechanism's behaviour.
 
         Used by the equilibrium cache (:mod:`repro.simulation.batch`) to key
@@ -162,7 +178,8 @@ class CommonCapAllocation(RateAllocationMechanism):
                             0.0, population.theta_hats)
         upper = self.cap_upper_bound(population)
         if self.carried_load(population, demands_arr,
-                             self.theta_at_cap(population, upper)) <= target + 1e-15:
+                             self.theta_at_cap(population, upper)
+                             ) <= target + _UNCONGESTED_SLACK:
             return population.theta_hats.copy()
         low, high = 0.0, upper
         for _ in range(_BISECTION_ITERATIONS):
@@ -197,7 +214,7 @@ class MaxMinFairAllocation(CommonCapAllocation):
         return np.minimum(population.theta_hats[np.newaxis, :],
                           caps[:, np.newaxis])
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         return ("MaxMinFairAllocation",)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -242,7 +259,7 @@ class WeightedFairAllocation(CommonCapAllocation):
         weighted = self._weight_vector(population)[np.newaxis, :] * caps[:, np.newaxis]
         return np.minimum(population.theta_hats[np.newaxis, :], weighted)
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         return ("WeightedFairAllocation",
                 tuple(sorted(self.weights.items())), self.default_weight)
 
@@ -276,7 +293,7 @@ class ProportionalToDemandAllocation(CommonCapAllocation):
         omegas = np.minimum(1.0, caps / theta_max)
         return omegas[:, np.newaxis] * population.theta_hats[np.newaxis, :]
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         return ("ProportionalToDemandAllocation",)
 
 
@@ -306,7 +323,7 @@ class AlphaFairAllocation(RateAllocationMechanism):
         self.per_user = bool(per_user)
         self._per_user_mechanism = MaxMinFairAllocation()
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         # The static optimum is independent of alpha (see the class docstring),
         # but keep it in the key so the identification stays conservative.
         return ("AlphaFairAllocation", self.alpha, self.per_user)
@@ -322,7 +339,7 @@ class AlphaFairAllocation(RateAllocationMechanism):
         unconstrained = weights * population.theta_hats
         offered = float(np.sum(unconstrained))
         target = min(nu, offered)
-        if target >= offered - 1e-15:
+        if target >= offered - _UNCONGESTED_SLACK:
             return population.theta_hats.copy()
         if target <= 0.0:
             return np.where(weights > 0.0, 0.0, population.theta_hats)
@@ -338,7 +355,8 @@ class AlphaFairAllocation(RateAllocationMechanism):
             if high - low <= _BISECTION_TOLERANCE * max(1.0, high):
                 break
         aggregates = np.minimum(unconstrained, high)
-        thetas = np.where(weights > 0.0, aggregates / np.maximum(weights, 1e-300),
+        thetas = np.where(weights > 0.0,
+                          aggregates / np.maximum(weights, _WEIGHT_FLOOR),
                           population.theta_hats)
         return np.minimum(thetas, population.theta_hats)
 
@@ -364,7 +382,7 @@ class StrictPriorityAllocation(RateAllocationMechanism):
     def __init__(self, priority_order: Optional[Sequence[str]] = None) -> None:
         self.priority_order = list(priority_order) if priority_order else None
 
-    def cache_key(self) -> tuple:
+    def cache_key(self) -> tuple[Any, ...]:
         order = tuple(self.priority_order) if self.priority_order else None
         return ("StrictPriorityAllocation", order)
 
@@ -452,7 +470,7 @@ def fixed_point_allocation(mechanism: RateAllocationMechanism,
         else:
             stalled += 1
             if stalled >= 5:
-                gamma = max(gamma * 0.5, 1e-4)
+                gamma = max(gamma * 0.5, _DAMPING_FLOOR)
                 stalled = 0
                 best_residual = residual
     raise ConvergenceError(

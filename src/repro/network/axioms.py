@@ -11,7 +11,7 @@ into the game layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class AxiomReport:
     work_conservation: bool = True
     monotonicity: bool = True
     scale_independence: bool = True
-    violations: list = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
 
     @property
     def all_satisfied(self) -> bool:

@@ -42,6 +42,13 @@ __all__ = [
     "validate_demand_function",
 ]
 
+#: Fraction of ``theta_hat`` at which the generic zero-throughput demand
+#: limit is probed numerically.
+_ZERO_LIMIT_SCALE = 1e-12
+
+#: Slack allowed on the piecewise-linear endpoint condition ``(1.0, 1.0)``.
+_ENDPOINT_TOLERANCE = 1e-12
+
 
 class DemandFunction(ABC):
     """Abstract base class for demand functions satisfying Assumption 1.
@@ -74,7 +81,7 @@ class DemandFunction(ABC):
         The default takes a numerical limit; subclasses with a closed form
         (e.g. the exponential family, whose limit is ``0``) override this.
         """
-        return self.evaluate(self._theta_hat * 1e-12)
+        return self.evaluate(self._theta_hat * _ZERO_LIMIT_SCALE)
 
     def __call__(self, theta: float) -> float:
         if theta != theta:  # NaN guard
@@ -405,7 +412,9 @@ class PiecewiseLinearDemand(DemandFunction):
         pts = [(float(w), float(d)) for w, d in points]
         if len(pts) < 2:
             raise ModelValidationError("need at least two breakpoints")
-        if pts[0][0] != 0.0 or pts[-1] != (1.0, 1.0):
+        if (pts[0][0] != 0.0
+                or abs(pts[-1][0] - 1.0) > _ENDPOINT_TOLERANCE
+                or abs(pts[-1][1] - 1.0) > _ENDPOINT_TOLERANCE):
             raise ModelValidationError(
                 "breakpoints must start at omega=0 and end at (1.0, 1.0)"
             )

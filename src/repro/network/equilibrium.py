@@ -23,8 +23,8 @@ Two solution paths are provided:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -65,6 +65,13 @@ _CAP_WIDTH_TOLERANCE = 1e-14
 #: bisection exits as soon as the work-conservation equation is satisfied to
 #: this tolerance, instead of always burning the full iteration budget.
 _RESIDUAL_TOLERANCE = 1e-13
+#: Slack below the unconstrained load within which a capacity counts as
+#: uncongested (the bisection would otherwise chase a root at the bracket
+#: edge that rounding already erased).
+_UNCONGESTED_SLACK = 1e-15
+#: Slack on the congestion predicate ``nu < unconstrained_load`` exposed by
+#: :attr:`RateEquilibrium.is_congested`.
+_CONGESTION_SLACK = 1e-12
 #: Working-set bound (elements) of one vectorised ``carried`` evaluation.
 #: Above it the grid is evaluated in cap-chunks so peak memory stays flat in
 #: the grid size (the million-CP scaling sweep).  The bound is far above any
@@ -130,7 +137,8 @@ class RateEquilibrium:
     @property
     def is_congested(self) -> bool:
         """True when the capacity cannot serve all unconstrained demand."""
-        return self.nu < self.population.unconstrained_per_capita_load - 1e-12
+        return (self.nu
+                < self.population.unconstrained_per_capita_load - _CONGESTION_SLACK)
 
     @property
     def omegas(self) -> np.ndarray:
@@ -262,8 +270,8 @@ class CommonCapProfile:
         if nu <= 0.0:
             return 0.0
         target = min(nu, self.unconstrained_load)
-        if (nu >= self.unconstrained_load - 1e-15
-                or self.carried_at_upper() <= target + 1e-15):
+        if (nu >= self.unconstrained_load - _UNCONGESTED_SLACK
+                or self.carried_at_upper() <= target + _UNCONGESTED_SLACK):
             return math.inf
         low = 0.0
         high = self.upper
@@ -307,8 +315,8 @@ class CommonCapProfile:
         caps[zero] = 0.0
         carried_at_upper = self.carried_at_upper()
         uncongested = (~zero) & (
-            (nus >= self.unconstrained_load - 1e-15)
-            | (carried_at_upper <= targets + 1e-15))
+            (nus >= self.unconstrained_load - _UNCONGESTED_SLACK)
+            | (carried_at_upper <= targets + _UNCONGESTED_SLACK))
         active = np.nonzero(~zero & ~uncongested)[0]
         if len(active) == 0:
             return caps
@@ -464,8 +472,8 @@ class ExponentialMaxMinProfile(CommonCapProfile):
         if nu <= 0.0:
             return 0.0
         target = min(nu, self.unconstrained_load)
-        if (nu >= self.unconstrained_load - 1e-15
-                or self.carried_at_upper() <= target + 1e-15):
+        if (nu >= self.unconstrained_load - _UNCONGESTED_SLACK
+                or self.carried_at_upper() <= target + _UNCONGESTED_SLACK):
             return math.inf
         return float(bisect(self, target, _BISECTION_ITERATIONS,
                             residual_tolerance * max(1.0, target),
@@ -614,7 +622,8 @@ def default_equilibrium_cache() -> LRUCache:
     return _EQUILIBRIUM_CACHE
 
 
-def mechanism_cache_key(mechanism: Optional[RateAllocationMechanism]) -> tuple:
+def mechanism_cache_key(mechanism: Optional[RateAllocationMechanism],
+                        ) -> tuple[Any, ...]:
     """Cache key of ``mechanism`` (``None`` means the default max-min)."""
     if mechanism is None:
         return _DEFAULT_MECHANISM.cache_key()
@@ -641,7 +650,7 @@ def frozen_equilibrium(equilibrium: RateEquilibrium) -> RateEquilibrium:
 
 
 def _indices_key(population: Population,
-                 indices: Optional[Sequence[int]]) -> Optional[tuple]:
+                 indices: Optional[Sequence[int]]) -> Optional[tuple[int, ...]]:
     """Normalised subset indices: ``None`` stands for the full population."""
     if indices is None:
         return None
@@ -652,7 +661,7 @@ def _indices_key(population: Population,
 
 
 def _subset_mask(population: Population,
-                 subset_key: Optional[tuple]) -> Optional[np.ndarray]:
+                 subset_key: Optional[tuple[int, ...]]) -> Optional[np.ndarray]:
     """Boolean membership mask of a class (``None`` = full population)."""
     if subset_key is None:
         return None
@@ -662,7 +671,7 @@ def _subset_mask(population: Population,
 
 
 def _subset_cache_key(population: Population,
-                      subset_key: Optional[tuple]) -> Optional[bytes]:
+                      subset_key: Optional[tuple[int, ...]]) -> Optional[bytes]:
     """Compact, exact cache representation of a class's index set.
 
     A packed bitmask over the population: ~n/8 bytes instead of an n-int
@@ -710,7 +719,7 @@ def _subset_profile(population: Population, mask: np.ndarray,
     if config.cache_policy == "bypass":
         return build()
     return _PROFILE_CACHE.get_or_compute(
-        (population, mask_bytes, backend.name), build)
+        (population, mask_bytes, config.cache_key()), build)
 
 
 def cached_subset_equilibrium(population: Population,
@@ -812,7 +821,7 @@ def cached_class_cap_for_mask(population: Population,
     return cache.get_or_compute(key, solve)  # type: ignore[return-value]
 
 
-def equilibrium_cache_stats() -> dict:
+def equilibrium_cache_stats() -> dict[str, dict[str, Any]]:
     """Hit/miss counters of the two solver caches (for benchmark reports).
 
     A filtered view of :func:`repro.cache.all_cache_stats` — both caches

@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +34,10 @@ from repro.errors import ModelValidationError
 from repro.network.demand import DemandFunction, ExponentialSensitivityDemand
 
 __all__ = ["ContentProvider", "Population"]
+
+#: Relative slack when matching a custom demand's ``theta_hat`` against the
+#: provider's own.
+_THETA_HAT_MATCH_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -82,7 +86,8 @@ class ContentProvider:
                 "demand",
                 ExponentialSensitivityDemand(self.theta_hat, self.beta),
             )
-        elif abs(self.demand.theta_hat - self.theta_hat) > 1e-9 * self.theta_hat:
+        elif (abs(self.demand.theta_hat - self.theta_hat)
+                > _THETA_HAT_MATCH_TOLERANCE * self.theta_hat):
             raise ModelValidationError(
                 "demand.theta_hat must match the provider's theta_hat "
                 f"({self.demand.theta_hat} != {self.theta_hat})"
@@ -228,7 +233,7 @@ class Population(Sequence[ContentProvider]):
         theta_hats = np.atleast_1d(np.array(theta_hats, dtype=float))
         size = len(alphas)
 
-        def column(values, default: float) -> np.ndarray:
+        def column(values: Optional[np.ndarray], default: float) -> np.ndarray:
             if values is None:
                 return np.full(size, default)
             # Copy: the backing store is frozen in place, and the caller's
@@ -278,28 +283,37 @@ class Population(Sequence[ContentProvider]):
                                provider_cache=None)
 
     @classmethod
-    def _from_state(cls, columns, *, names, name_prefix, demands,
-                    provider_cache) -> "Population":
+    def _from_state(cls, columns: Mapping[str, np.ndarray], *,
+                    names: Optional[tuple[str, ...]],
+                    name_prefix: Optional[str],
+                    demands: Optional[tuple[Any, ...]],
+                    provider_cache: Optional[list[Optional[ContentProvider]]],
+                    ) -> "Population":
         self = object.__new__(cls)
         self._init_state(columns, names=names, name_prefix=name_prefix,
                          demands=demands, provider_cache=provider_cache)
         return self
 
-    def _init_state(self, columns, *, names, name_prefix, demands,
-                    provider_cache) -> None:
+    def _init_state(self, columns: Mapping[str, np.ndarray], *,
+                    names: Optional[tuple[str, ...]],
+                    name_prefix: Optional[str],
+                    demands: Optional[tuple[Any, ...]],
+                    provider_cache: Optional[list[Optional[ContentProvider]]],
+                    ) -> None:
         self._columns = {key: _readonly(columns[key]) for key in _COLUMN_KEYS}
         self._size = len(self._columns["alphas"])
         self._names: Optional[tuple[str, ...]] = names
         self._name_prefix: Optional[str] = name_prefix
         #: ``None`` means every provider uses the default exponential demand;
         #: otherwise a per-provider tuple of demand objects.
-        self._demands: Optional[tuple] = demands
-        self._provider_cache: Optional[list] = provider_cache
+        self._demands: Optional[tuple[Any, ...]] = demands
+        self._provider_cache: Optional[list[Optional[ContentProvider]]] = (
+            provider_cache)
         # Lazily-populated caches.  A Population is immutable, so the hash,
         # the demand grouping and the name index are computed at most once.
         self._hash: Optional[int] = None
         self._digest: Optional[bytes] = None
-        self._demand_groups_cache = None
+        self._demand_groups_cache: Optional[tuple[Any, ...]] = None
         self._name_index: Optional[dict[str, int]] = None
 
     # -- lazy per-provider views ---------------------------------------------
@@ -345,7 +359,8 @@ class Population(Sequence[ContentProvider]):
     def __iter__(self) -> Iterator[ContentProvider]:
         return (self._provider_at(i) for i in range(self._size))
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: Union[int, slice],  # type: ignore[override]
+                    ) -> Union[ContentProvider, "Population"]:
         if isinstance(index, slice):
             return self._take(np.arange(self._size)[index])
         i = int(index)
@@ -438,7 +453,7 @@ class Population(Sequence[ContentProvider]):
 
     # -- vectorised demand evaluation -----------------------------------------
     @property
-    def _demand_groups(self) -> tuple:
+    def _demand_groups(self) -> tuple[Any, ...]:
         """Providers grouped by demand family, with packed parameter arrays.
 
         Each entry is ``(family_type, index_array, packed_parameters)``; the
@@ -572,7 +587,7 @@ class Population(Sequence[ContentProvider]):
             order = np.argsort(revenues, kind="stable")
         return self._take(order)
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, float]:
         """Summary statistics of the population (used by the CLI/examples)."""
         return {
             "count": self._size,

@@ -22,6 +22,9 @@ from repro.network.provider import Population
 
 __all__ = ["NetworkSystem", "ServiceClassOutcome"]
 
+#: Relative slack on the class capacity-saturation predicate.
+_SATURATION_TOLERANCE = 1e-9
+
 
 @dataclass(frozen=True)
 class ServiceClassOutcome:
@@ -65,7 +68,8 @@ class ServiceClassOutcome:
         """True when the class capacity is (numerically) fully used."""
         if self.per_capita_capacity <= 0.0:
             return True
-        return self.carried_rate >= self.per_capita_capacity * (1.0 - 1e-9)
+        return (self.carried_rate
+                >= self.per_capita_capacity * (1.0 - _SATURATION_TOLERANCE))
 
 
 class NetworkSystem:

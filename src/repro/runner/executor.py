@@ -23,6 +23,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
+from multiprocessing.context import BaseContext
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -109,7 +110,7 @@ def _child_import_path() -> None:
         os.environ["PYTHONPATH"] = os.pathsep.join([source_root] + parts)
 
 
-def _pool_context():
+def _pool_context() -> BaseContext:
     """The multiprocessing context for worker pools.
 
     ``fork`` (where the platform offers it) starts instantly and — unlike

@@ -19,7 +19,7 @@ take neither).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.core.duopoly import DuopolyGame
 from repro.core.monopoly import MonopolyGame
 from repro.core.oligopoly import OligopolyGame
 from repro.core.regulation import compare_regimes
-from repro.core.strategy import ISPStrategy, PUBLIC_OPTION_STRATEGY, strategy_grid
+from repro.core.strategy import ISPStrategy, strategy_grid
 from repro.network.allocation import MaxMinFairAllocation
 from repro.network.demand import ExponentialSensitivityDemand, sample_demand_curve
 from repro.network.provider import Population
@@ -524,7 +524,7 @@ def theorem5_public_option_alignment(population: Optional[Population] = None,
 # --------------------------------------------------------------------------- #
 def lemma4_proportional_shares(population: Optional[Population] = None,
                                nu: float = 150.0,
-                               capacity_shares: Optional[dict] = None,
+                               capacity_shares: Optional[Dict[str, float]] = None,
                                strategy: ISPStrategy = ISPStrategy(0.6, 0.4),
                                count: int = 300,
                                seed: int = DEFAULT_SEED) -> ExperimentResult:
@@ -562,7 +562,7 @@ def lemma4_proportional_shares(population: Optional[Population] = None,
 # --------------------------------------------------------------------------- #
 def theorem6_alignment(population: Optional[Population] = None,
                        nu: float = 150.0,
-                       capacity_shares: Optional[dict] = None,
+                       capacity_shares: Optional[Dict[str, float]] = None,
                        kappas: Sequence[float] = (0.5, 1.0),
                        prices: Sequence[float] = (0.2, 0.5, 0.8),
                        count: int = 300,

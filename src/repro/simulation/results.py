@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numbers
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -35,7 +35,7 @@ RESULT_SCHEMA_VERSION = 1
 RESULT_KIND = "repro-netneutrality/experiment-result"
 
 
-def _canonical_value(value, context: str):
+def _canonical_value(value: object, context: str) -> Any:
     """``value`` converted to JSON-compatible built-ins, recursively.
 
     Tuples become lists, numpy scalars become Python scalars, and mapping
@@ -53,7 +53,7 @@ def _canonical_value(value, context: str):
     if isinstance(value, numbers.Real):
         return float(value)
     if isinstance(value, Mapping):
-        converted = {}
+        converted: Dict[str, Any] = {}
         for key, item in value.items():
             if isinstance(key, (bool, np.bool_)):
                 key = repr(bool(key))
@@ -122,7 +122,7 @@ class Series:
                 return sample_y
         raise KeyError(f"x={x} not sampled in series {self.name!r}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation (see ``ARTIFACTS.md``)."""
         return {
             "name": self.name,
@@ -190,7 +190,7 @@ class SweepResult:
             lines.append(row)
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation (see ``ARTIFACTS.md``)."""
         return {
             "title": self.title,
@@ -254,7 +254,7 @@ class ExperimentResult:
                 sections.append(f"  - {key}: {value}")
         return "\n\n".join(sections)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation under the versioned schema.
 
         The payload is self-describing (``schema`` + ``kind`` markers) and

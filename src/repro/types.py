@@ -10,14 +10,28 @@ the package).
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Protocol, Sequence, Tuple
+from typing import Any, Callable, Mapping, Protocol, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
+    "BoolArray",
     "DemandCallable",
-    "ThroughputProfile",
+    "FloatArray",
+    "IntArray",
     "Partition",
     "SupportsDemand",
+    "ThroughputProfile",
 ]
+
+#: A one-dimensional float64 column (populations, throughput vectors, grids).
+FloatArray = np.ndarray[Any, np.dtype[np.float64]]
+
+#: An integer index array (provider positions, saturated counts).
+IntArray = np.ndarray[Any, np.dtype[np.integer]]
+
+#: A boolean mask over a population (class membership, congestion flags).
+BoolArray = np.ndarray[Any, np.dtype[np.bool_]]
 
 #: A demand function: maps an achievable throughput ``theta`` (in the same
 #: units as the provider's unconstrained throughput) to the fraction of the

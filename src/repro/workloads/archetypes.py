@@ -17,7 +17,7 @@ then correspond to a handful of Mbps).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from repro.errors import ModelValidationError
 from repro.network.provider import ContentProvider, Population

@@ -1,0 +1,10 @@
+"""RL001 violating fixture: registered-cache key omits cache_key()."""
+
+from repro.cache import LRUCache
+
+_PROFILE_CACHE = LRUCache(maxsize=64, name="fixture_profiles")
+
+
+def lookup(population, backend_name, build):
+    key = ("profiles", backend_name, len(population))
+    return _PROFILE_CACHE.get_or_compute(key, build)

@@ -1,0 +1,28 @@
+"""RL001 conforming fixture: keys thread ``config.cache_key()``.
+
+Covers the three accepted shapes: a direct ``.cache_key()`` reference in
+the key expression, a local name assigned from one, and a same-module
+helper whose body contains one.
+"""
+
+from repro.cache import LRUCache
+
+_PROFILE_CACHE = LRUCache(maxsize=64, name="fixture_profiles")
+
+
+def _key(population, config):
+    return ("profiles", population.fingerprint(), config.cache_key())
+
+
+def lookup_direct(population, config, build):
+    return _PROFILE_CACHE.get_or_compute(
+        ("profiles", population.fingerprint(), config.cache_key()), build)
+
+
+def lookup_local(population, config, build):
+    key = ("profiles", population.fingerprint(), config.cache_key())
+    return _PROFILE_CACHE.get_or_compute(key, build)
+
+
+def lookup_helper(population, config, build):
+    return _PROFILE_CACHE.get_or_compute(_key(population, config), build)

@@ -1,0 +1,18 @@
+"""RL002 violating fixture: stores into Population column views."""
+
+
+def clobber_direct(population):
+    population.alphas[0] = 2.0
+
+
+def clobber_alias(population):
+    view = population.theta_hats
+    view[1] = 3.0
+
+
+def rebind_column(equilibrium, values):
+    equilibrium.thetas = values
+
+
+def unfreeze(array):
+    array.setflags(write=True)

@@ -1,0 +1,18 @@
+"""RL002 conforming fixture: copy before mutating; owner writes allowed."""
+
+import numpy as np
+
+
+class Holder:
+    def __init__(self, alphas):
+        self.alphas = np.asarray(alphas, dtype=float)
+
+
+def scale_copy(population, factor):
+    scaled = np.array(population.alphas)
+    scaled[0] = scaled[0] * factor
+    return scaled
+
+
+def read_only(population):
+    return float(population.theta_hats[0])

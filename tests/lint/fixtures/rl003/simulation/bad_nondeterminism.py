@@ -1,0 +1,20 @@
+"""RL003 violating fixture: wall clock, global RNG, unsorted JSON, sets."""
+
+import json
+import time
+
+import numpy as np
+
+
+def stamp(payload):
+    started = time.time()
+    return started, json.dumps(payload)
+
+
+def sample(count):
+    return np.random.rand(count)
+
+
+def emit():
+    for name in {"a", "b"}:
+        yield name

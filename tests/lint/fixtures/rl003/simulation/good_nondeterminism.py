@@ -1,0 +1,21 @@
+"""RL003 conforming fixture: monotonic clock, seeded RNG, canonical JSON."""
+
+import json
+import time
+
+import numpy as np
+
+
+def stamp(payload):
+    started = time.perf_counter()
+    return started, json.dumps(payload, sort_keys=True)
+
+
+def sample(count, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(count)
+
+
+def emit():
+    for name in sorted({"a", "b"}):
+        yield name

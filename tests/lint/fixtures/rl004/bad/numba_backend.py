@@ -1,0 +1,10 @@
+"""RL004 violating fixture: kernel with **kwargs closing over a global."""
+
+_SCALE = 2.0
+
+
+def _kernel_scaled(values, cap, **options):
+    total = 0.0
+    for i in range(len(values)):
+        total += min(values[i], cap) * _SCALE
+    return total

@@ -1,0 +1,15 @@
+"""RL004 conforming fixture: kernel touches only args, locals and builtins."""
+
+import math
+
+
+def _kernel_carried(values, cap):
+    total = 0.0
+    for i in range(len(values)):
+        total += min(float(values[i]), cap)
+    return math.fsum([total])
+
+
+def helper_outside_kernel(values, scale):
+    # Not a kernel (no _kernel_ prefix, no njit): free to use globals.
+    return [scale * value for value in values]

@@ -1,0 +1,5 @@
+"""RL005 violating fixture: exact equality against a non-zero float."""
+
+
+def is_boundary(kappa):
+    return kappa == 0.5

@@ -1,0 +1,12 @@
+"""RL005 conforming fixture: tolerance comparison; exact-zero sentinel."""
+
+_BOUNDARY_TOLERANCE = 1e-9
+
+
+def is_boundary(kappa):
+    return abs(kappa - 0.5) <= _BOUNDARY_TOLERANCE
+
+
+def is_free(price):
+    # Exact 0.0 is an exempt sentinel (degenerate-case short circuit).
+    return price == 0.0

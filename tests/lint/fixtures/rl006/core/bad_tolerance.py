@@ -1,0 +1,5 @@
+"""RL006 violating fixture: inline tolerance literal in a function body."""
+
+
+def converged(residual):
+    return abs(residual) < 1e-9

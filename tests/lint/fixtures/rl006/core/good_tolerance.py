@@ -1,0 +1,9 @@
+"""RL006 conforming fixture: named constant or signature default."""
+
+_RESIDUAL_TOLERANCE = 1e-9
+
+
+def converged(residual, tolerance=1e-9):
+    if tolerance is None:
+        tolerance = _RESIDUAL_TOLERANCE
+    return abs(residual) < tolerance

@@ -1,0 +1,82 @@
+"""CLI tests: exit codes, output formats, and the repro-netneutrality
+``lint`` subcommand dispatch."""
+
+from pathlib import Path
+
+import pytest
+
+import repro.cli as repro_cli
+from repro.lint.cli import build_parser, main
+from repro.lint.reporting import parse_json_report
+from repro.lint.rules import rule_codes
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "rl006" / "core" / "bad_tolerance.py")
+GOOD = str(FIXTURES / "rl006" / "core" / "good_tolerance.py")
+
+
+def test_clean_path_exits_zero(capsys):
+    assert main([GOOD]) == 0
+    assert capsys.readouterr().out.strip() == "0 findings"
+
+
+def test_findings_exit_one_with_rendered_text(capsys):
+    assert main([BAD]) == 1
+    out = capsys.readouterr().out
+    assert "RL006" in out
+    assert BAD in out
+    assert out.strip().endswith("1 finding")
+
+
+def test_usage_error_exits_two(capsys):
+    assert main(["does/not/exist.py"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err.startswith("error:")
+
+
+def test_json_format_round_trips(capsys):
+    assert main(["--format", "json", BAD]) == 1
+    findings = parse_json_report(capsys.readouterr().out)
+    assert [f.code for f in findings] == ["RL006"]
+
+
+def test_select_and_ignore_comma_lists(capsys):
+    assert main(["--select", "rl001,rl002", BAD]) == 0
+    capsys.readouterr()
+    assert main(["--ignore", "RL006", BAD]) == 0
+    capsys.readouterr()
+    assert main(["--select", "RL006", "--ignore", "RL006", BAD]) == 0
+
+
+def test_unknown_code_is_usage_error(capsys):
+    assert main(["--select", "RL999", BAD]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in rule_codes():
+        assert code in out
+
+
+def test_default_target_is_src():
+    parser = build_parser()
+    args = parser.parse_args([])
+    assert args.paths == ["src"]
+
+
+@pytest.mark.parametrize("path,expected", [(GOOD, 0), (BAD, 1)])
+def test_repro_cli_lint_subcommand(capsys, path, expected):
+    assert repro_cli.main(["lint", path]) == expected
+    out = capsys.readouterr().out
+    if expected:
+        assert "RL006" in out
+
+
+def test_repro_cli_lint_list_rules(capsys):
+    assert repro_cli.main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in rule_codes():
+        assert code in out

@@ -13,7 +13,7 @@ from repro.network.allocation import (
     WeightedFairAllocation,
 )
 from repro.network.equilibrium import solve_rate_equilibrium
-from repro.network.provider import ContentProvider, Population
+from repro.network.provider import Population
 
 
 class TestBasicProperties:

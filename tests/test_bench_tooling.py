@@ -7,8 +7,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
 
 
