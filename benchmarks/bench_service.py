@@ -1,0 +1,101 @@
+"""SERVICE — concurrent serving workloads through the equilibrium server.
+
+Spins up in-process :class:`~repro.service.server.EquilibriumServer`
+instances on ephemeral ports and replays deterministic request streams
+(see :mod:`repro.service.loadgen`) across three key distributions:
+
+* ``hot``   — identical requests: in-flight coalescing should collapse a
+  thundering herd to one engine solve per batch window;
+* ``cold``  — per-request unique grids: no coalescing, but micro-batching
+  still fuses compatible grids into union solves;
+* ``mixed`` — 80% hot / 20% cold, the realistic in-between;
+* ``naive_hot`` — the hot workload against a ``naive=True`` server (one
+  ``solve_rate_equilibria`` per request, no windows, no coalescing, no
+  warm caches): the baseline that prices the serving layer.
+
+Throughput, p50/p99 latency and the coalesce rate of every workload are
+recorded in ``BENCH_summary.json`` under the nested ``service`` entry that
+``scripts/bench_compare.py`` gates, together with the headline
+``speedup_hot_vs_naive`` ratio.  The ISSUE's acceptance bar is asserted
+here: the coalescing/batched server must beat the naive baseline by >= 3x
+on the hot-key workload of the same benchmark run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from conftest import record_benchmark
+
+from repro.service.loadgen import run_loadgen
+from repro.service.server import EquilibriumServer
+
+#: Workload shape: enough concurrent identical requests for coalescing to
+#: dominate, small enough to keep the whole benchmark in seconds.
+_REQUESTS = 240
+_CONCURRENCY = 40
+_POPULATION_COUNT = 1000
+_WINDOW_SECONDS = 0.002
+
+
+async def _run_workload(distribution: str, *, naive: bool) -> dict:
+    """One workload against a fresh in-process server on an ephemeral port.
+
+    A fresh server (and the autouse cold-caches fixture) means every
+    workload starts with cold solver caches — the hot workload's speedup
+    comes from coalescing/batching plus the warmth *it* creates, not from
+    a predecessor's leftovers.
+    """
+    server = EquilibriumServer(port=0, window_seconds=_WINDOW_SECONDS,
+                               naive=naive)
+    await server.start()
+    serve_task = asyncio.create_task(server.serve_until_closed())
+    host, port = server.address
+    try:
+        return await run_loadgen(
+            host, port, distribution=distribution, requests=_REQUESTS,
+            concurrency=_CONCURRENCY, count=_POPULATION_COUNT)
+    finally:
+        await server.close()
+        await serve_task
+
+
+def test_service_serving_workloads():
+    from repro.cache import clear_all_caches
+
+    workloads: dict[str, dict] = {}
+    started = time.perf_counter()
+    for name, distribution, naive in (
+            ("hot", "hot", False),
+            ("cold", "cold", False),
+            ("mixed", "mixed", False),
+            ("naive_hot", "hot", True)):
+        clear_all_caches()  # cold start for every workload, incl. the naive
+        workloads[name] = asyncio.run(_run_workload(distribution,
+                                                    naive=naive))
+    elapsed = time.perf_counter() - started
+
+    speedup = (workloads["naive_hot"]["seconds"]
+               / workloads["hot"]["seconds"])
+    record_benchmark("service", elapsed, extra={
+        "workloads": workloads,
+        "speedup_hot_vs_naive": speedup,
+        "window_seconds": _WINDOW_SECONDS,
+        "population_count": _POPULATION_COUNT,
+    })
+
+    # The serving layer's reason to exist, measured in this same run:
+    # coalescing + micro-batching beat one-solve-per-request by >= 3x on
+    # the hot-key workload.
+    assert speedup >= 3.0, (
+        f"hot workload only {speedup:.2f}x faster than the naive baseline")
+    # Coalescing must actually engage on hot keys...
+    assert workloads["hot"]["coalesced"] > 0
+    assert workloads["hot"]["coalesce_rate"] > 0.5
+    # ...and by construction cannot engage on cold keys.
+    assert workloads["cold"]["coalesced"] == 0
+    # Micro-batching fuses cold compatible grids into union solves.
+    assert workloads["cold"]["engine_solves"] < _REQUESTS
+    # Every request of every workload succeeded.
+    assert all(w["errors"] == 0 for w in workloads.values())

@@ -45,6 +45,20 @@ def record_extra(name: str, payload: dict) -> None:
     _BENCH_EXTRA.setdefault(name, {}).update(payload)
 
 
+def record_benchmark(name: str, seconds: float,
+                     extra: dict | None = None) -> None:
+    """Record a summary entry under an explicit name.
+
+    For harness code that measures itself (the serving benchmark times
+    whole concurrent workloads, not one function call) and wants a stable
+    summary key like ``"service"`` instead of a pytest node name.
+    """
+    _BENCH_TIMINGS[name] = seconds
+    _BENCH_CACHE_STATS[name] = all_cache_stats()
+    if extra:
+        record_extra(name, extra)
+
+
 @pytest.fixture(autouse=True)
 def _cold_solver_caches():
     """Start every benchmark with cold solver caches.

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Load-generate against an equilibrium server and report latency/coalescing.
+
+Usage::
+
+    # Against an already-running server (e.g. `repro-netneutrality serve`):
+    python scripts/service_loadgen.py --port 8787 --distribution hot \
+        --requests 200 --concurrency 20
+
+    # Self-contained: spin up an in-process server on an ephemeral port,
+    # drive it, shut it down:
+    python scripts/service_loadgen.py --in-process --distribution mixed
+
+Prints one JSON report (throughput, p50/p99 latency in milliseconds, and
+the scheduler's coalesce/fusion counters over exactly this run).  With
+``--expect-coalescing`` the script exits 4 when no request coalesced —
+CI's smoke check that the serving layer's cross-request sharing actually
+engaged.  All request streams are deterministic; see
+:mod:`repro.service.loadgen`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.loadgen import DISTRIBUTIONS, run_loadgen  # noqa: E402
+from repro.service.server import EquilibriumServer  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Concurrent load generator for the equilibrium service.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="port of the running server (default 8787)")
+    parser.add_argument("--in-process", action="store_true",
+                        help="start a private server on an ephemeral port "
+                             "instead of connecting to --host/--port")
+    parser.add_argument("--distribution", default="hot",
+                        choices=DISTRIBUTIONS,
+                        help="request-key distribution (default: hot)")
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--count", type=int, default=1000,
+                        help="CP population size of every request")
+    parser.add_argument("--mechanism", default="maxmin",
+                        choices=("maxmin", "proportional_to_demand"))
+    parser.add_argument("--window-ms", type=float, default=2.0,
+                        help="micro-batch window of the --in-process server")
+    parser.add_argument("--naive", action="store_true",
+                        help="run the --in-process server with batching and "
+                             "coalescing disabled (baseline mode)")
+    parser.add_argument("--expect-coalescing", action="store_true",
+                        help="exit 4 when the run coalesced zero requests")
+    return parser
+
+
+async def _run(args: argparse.Namespace) -> dict:
+    if args.in_process:
+        server = EquilibriumServer(
+            port=0, window_seconds=args.window_ms / 1000.0, naive=args.naive)
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_until_closed())
+        host, port = server.address
+        try:
+            return await run_loadgen(
+                host, port, distribution=args.distribution,
+                requests=args.requests, concurrency=args.concurrency,
+                count=args.count, mechanism=args.mechanism)
+        finally:
+            await server.close()
+            await serve_task
+    return await run_loadgen(
+        args.host, args.port, distribution=args.distribution,
+        requests=args.requests, concurrency=args.concurrency,
+        count=args.count, mechanism=args.mechanism)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.requests < 1 or args.concurrency < 1:
+        print("error: --requests and --concurrency must be >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        report = asyncio.run(_run(args))
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach the server: {error}", file=sys.stderr)
+        return 2
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.expect_coalescing and report["coalesced"] == 0:
+        print("error: expected cross-request coalescing, but no request "
+              "coalesced", file=sys.stderr)
+        return 4
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

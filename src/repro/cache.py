@@ -10,6 +10,7 @@ tuples instead and exposes hit/miss counters for the benchmark harness.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional
 
@@ -36,10 +37,14 @@ def all_cache_stats() -> Dict[str, Dict[str, Any]]:
 class LRUCache:
     """Bounded mapping with least-recently-used eviction.
 
-    Not thread-safe; the solvers are single-threaded.  A ``maxsize`` of
-    ``None`` disables bounding (useful in tests), ``0`` disables caching
-    entirely (every lookup misses), which gives a one-line way to compare
-    cached and uncached runs.
+    Thread- and task-safe: a single lock serialises every read, insert,
+    eviction and counter update, so the caches can serve as warm shared
+    state for the equilibrium service, whose solves run on executor threads
+    while the event loop keeps accepting requests.  Single-threaded callers
+    (the games, sweeps and runner) observe exactly the pre-lock behaviour.
+    A ``maxsize`` of ``None`` disables bounding (useful in tests), ``0``
+    disables caching entirely (every lookup misses), which gives a one-line
+    way to compare cached and uncached runs.
     """
 
     def __init__(self, maxsize: Optional[int] = 1024,
@@ -49,66 +54,78 @@ class LRUCache:
         self.maxsize = maxsize
         self.name = name
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         if name is not None:
             _REGISTRY[name] = self
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key`` (evicting the least recently used entry if full)."""
-        if self.maxsize == 0:
-            return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if self.maxsize is not None and len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            if self.maxsize == 0:
+                return
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing a miss.
 
         ``compute`` is a zero-argument callable invoked only on a miss; hit
         and miss counters behave exactly as with :meth:`get` + :meth:`put`.
+        The lock is *not* held while ``compute`` runs (a long solve must not
+        block every other cache user), so two threads racing on the same
+        missing key may both compute it — the cached computations are pure,
+        so the duplicate work is benign and last-write-wins is correct.
         """
-        value = self._data.get(key, _MISSING)
-        if value is not _MISSING:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
-        self.misses += 1
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return value
+            self.misses += 1
         value = compute()
         self.put(key, value)
         return value
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> Dict[str, Any]:
         """Counters for reports: size, hits, misses and the hit rate."""
-        total = self.hits + self.misses
-        return {
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -147,6 +147,35 @@ def build_parser() -> argparse.ArgumentParser:
     population_parser.add_argument("--utility-model", default="beta_correlated",
                                    choices=("beta_correlated", "independent"))
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived equilibrium server (POST /solve, "
+             "GET /stats, GET /healthz; see ARTIFACTS.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8787,
+                              help="TCP port; 0 picks an ephemeral port "
+                                   "(default: 8787)")
+    serve_parser.add_argument("--window-ms", type=float, default=2.0,
+                              help="micro-batch window in milliseconds: "
+                                   "compatible requests arriving within it "
+                                   "are fused into one union-grid solve "
+                                   "(default: 2.0)")
+    serve_parser.add_argument("--backend", default=None,
+                              choices=BACKEND_NAMES,
+                              help="default solver backend for requests "
+                                   "without a config field")
+    serve_parser.add_argument("--naive", action="store_true",
+                              help="disable batching and coalescing (one "
+                                   "solve per request); the benchmark "
+                                   "baseline, not a production mode")
+    serve_parser.add_argument("--solver-threads", type=int, default=1,
+                              help="executor threads running solves "
+                                   "(default: 1)")
+    serve_parser.add_argument("--max-requests", type=int, default=None,
+                              help="shut down cleanly after serving this "
+                                   "many /solve requests (for smoke tests)")
+
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the solver-invariant static analysis (rules RL001-RL006)")
@@ -248,6 +277,41 @@ def _reproduce_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the equilibrium server until interrupted (or --max-requests)."""
+    import asyncio
+
+    from repro.service.server import EquilibriumServer
+
+    if args.window_ms < 0.0:
+        print("error: --window-ms must be >= 0", file=sys.stderr)
+        return 2
+    if args.solver_threads < 1:
+        print("error: --solver-threads must be >= 1", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        server = EquilibriumServer(
+            args.host, args.port,
+            window_seconds=args.window_ms / 1000.0,
+            naive=args.naive,
+            max_solver_threads=args.solver_threads,
+            config=_solver_config(args),
+            max_requests=args.max_requests)
+        await server.start()
+        host, port = server.address
+        print(f"serving on http://{host}:{port} "
+              f"(window {args.window_ms:g} ms, "
+              f"{'naive' if args.naive else 'micro-batching'})", flush=True)
+        await server.serve_until_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -282,6 +346,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"Paper's monopoly-side ordering (public option >= neutral >= "
                   f"unregulated) {ordering} at nu={args.nu:g}.")
             return 0
+        if args.command == "serve":
+            return _serve(args)
         if args.command == "lint":
             from repro.lint.cli import run as run_lint
             return run_lint(args)

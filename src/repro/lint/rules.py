@@ -460,9 +460,9 @@ _register(Rule(
     code="RL003",
     name="nondeterminism-ban",
     summary="no wall clocks, global RNG state, set iteration or unsorted "
-            "JSON in runner/ + simulation/",
+            "JSON in runner/ + simulation/ + service/",
     check=_check_rl003,
-    path_components=("runner", "simulation"),
+    path_components=("runner", "simulation", "service"),
 ))
 
 

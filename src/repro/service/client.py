@@ -1,0 +1,112 @@
+"""A minimal asyncio client for the equilibrium service.
+
+Stdlib only, like the server: one persistent keep-alive connection per
+client, JSON in / JSON out.  Used by the serving-layer tests and the load
+generator; external callers can use any HTTP client (the wire format is
+plain HTTP/1.1 + JSON).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceResponse"]
+
+#: What every request resolves to: ``(http status, decoded JSON payload)``.
+ServiceResponse = Tuple[int, Dict[str, Any]]
+
+
+class ServiceClient:
+    """One keep-alive HTTP/1.1 connection to an :class:`EquilibriumServer`.
+
+    Not safe for concurrent use from multiple tasks — HTTP/1.1 pipelining
+    is deliberately out of scope.  Open one client per concurrent caller
+    (the load generator does exactly that).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port)
+
+    async def close(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def solve(self, payload: Dict[str, Any]) -> ServiceResponse:
+        """``POST /solve`` with ``payload`` as the JSON body."""
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return await self.request("POST", "/solve", body)
+
+    async def stats(self) -> ServiceResponse:
+        """``GET /stats``."""
+        return await self.request("GET", "/stats")
+
+    async def healthz(self) -> ServiceResponse:
+        """``GET /healthz``."""
+        return await self.request("GET", "/healthz")
+
+    async def request(self, method: str, path: str,
+                      body: bytes = b"") -> ServiceResponse:
+        """One round trip; reconnects once if the server closed the socket."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self._host}:{self._port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> ServiceResponse:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        close_after = False
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("connection closed inside headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                close_after = True
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8"))
+        if close_after:
+            await self.close()
+        if not isinstance(payload, dict):
+            raise ConnectionError(f"non-object response payload: {payload!r}")
+        return status, payload

@@ -1,0 +1,126 @@
+"""Concurrent load generation against a running equilibrium server.
+
+The core behind ``scripts/service_loadgen.py`` and
+``benchmarks/bench_service.py``: a pool of keep-alive client connections
+replays a deterministic request stream against ``POST /solve``, measures
+per-request latency with a monotonic clock, and reads the scheduler's
+counters off ``GET /stats`` before and after, so the reported coalesce /
+fusion rates cover exactly this run.
+
+Request streams are index-deterministic (no RNG, no wall clock): the same
+(distribution, requests) pair always produces the same payload sequence,
+which keeps serving benchmarks comparable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.service.client import ServiceClient
+
+__all__ = ["DISTRIBUTIONS", "build_payload", "run_loadgen"]
+
+#: Key distributions exercised by the benchmark and the CLI:
+#: ``hot``   — every request identical (maximal coalescing),
+#: ``cold``  — every request a distinct grid (no coalescing; micro-batching
+#:             can still fuse compatible grids into union solves),
+#: ``mixed`` — 80% hot / 20% cold interleaved.
+DISTRIBUTIONS: Tuple[str, ...] = ("hot", "cold", "mixed")
+
+_HOT_GRID = [50.0, 100.0, 150.0, 200.0]
+
+
+def build_payload(distribution: str, index: int, *, count: int = 1000,
+                  seed: int = 0, mechanism: str = "maxmin") -> Dict[str, Any]:
+    """The ``index``-th request of a deterministic workload stream."""
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(f"unknown distribution {distribution!r}; expected "
+                         f"one of {DISTRIBUTIONS}")
+    population = {"count": count, "seed": seed}
+    if distribution == "hot" or (distribution == "mixed" and index % 5 != 0):
+        grid: List[float] = list(_HOT_GRID)
+    else:
+        # A grid unique to this index: never coalesces, and only fuses
+        # with *other* grids via the union solve.
+        base = 10.0 + float(index)
+        grid = [base, base + 0.25, base + 0.5]
+    return {"population": population, "mechanism": mechanism, "nus": grid}
+
+
+async def run_loadgen(host: str, port: int, *, distribution: str,
+                      requests: int, concurrency: int, count: int = 1000,
+                      seed: int = 0, mechanism: str = "maxmin"
+                      ) -> Dict[str, Any]:
+    """Replay a workload and return its latency/throughput/coalesce report.
+
+    Raises ``RuntimeError`` when any request fails — a load measurement
+    over errored requests would be meaningless.
+    """
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    concurrency = min(concurrency, requests)
+    async with ServiceClient(host, port) as probe:
+        _, before = await probe.stats()
+
+    latencies_ms: List[float] = []
+    failures: List[Tuple[int, Any]] = []
+    next_index = 0
+    lock = asyncio.Lock()
+
+    async def worker() -> None:
+        nonlocal next_index
+        async with ServiceClient(host, port) as client:
+            while True:
+                async with lock:
+                    index = next_index
+                    if index >= requests:
+                        return
+                    next_index += 1
+                payload = build_payload(distribution, index, count=count,
+                                        seed=seed, mechanism=mechanism)
+                started = time.perf_counter()
+                status, body = await client.solve(payload)
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                if status != 200:
+                    failures.append((status, body.get("error")))
+                    return
+                latencies_ms.append(elapsed_ms)
+
+    started = time.perf_counter()
+    await asyncio.gather(*[worker() for _ in range(concurrency)])
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise RuntimeError(f"{len(failures)} request(s) failed; first: "
+                           f"{failures[0]}")
+
+    async with ServiceClient(host, port) as probe:
+        _, after = await probe.stats()
+    scheduler_before = before.get("scheduler", {})
+    scheduler_after = after.get("scheduler", {})
+
+    def delta(counter: str) -> int:
+        return int(scheduler_after.get(counter, 0)
+                   - scheduler_before.get(counter, 0))
+
+    served = delta("requests")
+    coalesced = delta("coalesced")
+    return {
+        "distribution": distribution,
+        "requests": requests,
+        "concurrency": concurrency,
+        "seconds": elapsed,
+        "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": float(np.percentile(latencies_ms, 50)),
+        "p99_ms": float(np.percentile(latencies_ms, 99)),
+        "mean_ms": float(np.mean(latencies_ms)),
+        "coalesced": coalesced,
+        "coalesce_rate": coalesced / served if served else 0.0,
+        "batches": delta("batches"),
+        "fused_requests": delta("fused_requests"),
+        "engine_solves": delta("engine_solves"),
+        "errors": delta("errors"),
+    }

@@ -1,0 +1,283 @@
+"""Equilibrium-as-a-service: a long-lived asyncio HTTP/1.1 server.
+
+Stdlib only — a deliberately small HTTP/1.1 implementation over asyncio
+streams (request line + headers + ``Content-Length`` body, keep-alive),
+enough for the JSON API and the load generator without new runtime deps.
+
+Endpoints:
+
+* ``POST /solve``   — solve an equilibrium request (see
+  :mod:`repro.service.protocol` and ARTIFACTS.md for the schema).
+* ``GET  /stats``   — solver-cache statistics (``all_cache_stats()``) plus
+  the scheduler's coalescing / batch-fusion counters.
+* ``GET  /healthz`` — liveness probe.
+
+Malformed requests are answered with a structured JSON error and the
+configured 4xx status; the connection (and the server) stays up.  Requests
+are dispatched concurrently — each connection's reader keeps going while
+solves run — which is what gives the micro-batch window its cross-request
+reach.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.backends.config import SolverConfig
+from repro.cache import all_cache_stats
+from repro.errors import ModelValidationError
+from repro.service.protocol import (
+    RequestError,
+    build_solve_response,
+    error_payload,
+    parse_solve_request,
+)
+from repro.service.scheduler import DEFAULT_WINDOW_SECONDS, MicroBatchScheduler
+
+__all__ = ["EquilibriumServer", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; far above any sane grid, far below a DoS.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 64
+
+_STATUS_PHRASES = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpViolation(Exception):
+    """A protocol-level violation; the connection is closed after replying."""
+
+
+class EquilibriumServer:
+    """The serving loop around a :class:`MicroBatchScheduler`.
+
+    ``config`` is the default :class:`SolverConfig` used for requests that
+    carry no ``config`` field (the CLI's ``--backend`` flag lands here);
+    ``naive=True`` turns off batching/coalescing for baseline measurements.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 naive: bool = False,
+                 max_solver_threads: int = 1,
+                 config: Optional[SolverConfig] = None,
+                 max_requests: Optional[int] = None) -> None:
+        self._host = host
+        self._port = port
+        self._config = config
+        self._max_requests = max_requests
+        self.scheduler = MicroBatchScheduler(
+            window_seconds, naive=naive,
+            max_solver_threads=max_solver_threads)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closing = asyncio.Event()
+        self.requests_total = 0
+        self.solve_requests = 0
+        self.request_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral ports."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def serve_until_closed(self) -> None:
+        """Serve until :meth:`close` is called (or max_requests is hit)."""
+        if self._server is None:
+            await self.start()
+        await self._closing.wait()
+        await self._shutdown()
+
+    async def close(self) -> None:
+        """Stop accepting, drain in-flight solves, release the executor."""
+        self._closing.set()
+        # When nobody is inside serve_until_closed, shut down directly.
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self.scheduler.aclose()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._closing.is_set():
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpViolation as violation:
+                    await _write_response(
+                        writer, 400,
+                        error_payload("bad_http", str(violation)),
+                        keep_alive=False)
+                    break
+                if parsed is None:  # clean EOF between requests
+                    break
+                method, target, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                self.requests_total += 1
+                status, payload = await self._dispatch(method, target, body)
+                await _write_response(writer, status, payload,
+                                      keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+                if (self._max_requests is not None
+                        and self.solve_requests >= self._max_requests):
+                    self._closing.set()
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str],
+                                                bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpViolation("malformed HTTP request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _HttpViolation("connection closed inside headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpViolation("too many header lines")
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpViolation(f"bad Content-Length {raw_length!r}")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpViolation(
+                f"Content-Length {length} outside [0, {MAX_BODY_BYTES}]")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method: str, target: str, body: bytes
+                        ) -> Tuple[int, Dict[str, Any]]:
+        path = target.split("?", 1)[0]
+        if path == "/solve":
+            if method != "POST":
+                return 405, error_payload("method_not_allowed",
+                                          "/solve accepts POST only")
+            return await self._handle_solve(body)
+        if path == "/stats":
+            if method != "GET":
+                return 405, error_payload("method_not_allowed",
+                                          "/stats accepts GET only")
+            return 200, self.stats()
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_payload("method_not_allowed",
+                                          "/healthz accepts GET only")
+            return 200, {"schema": 1, "status": "ok"}
+        return 404, error_payload("not_found", f"no route for {path!r}")
+
+    async def _handle_solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self.request_errors += 1
+            return 400, error_payload("bad_json",
+                                      f"request body is not JSON: {error}")
+        try:
+            request = parse_solve_request(payload)
+        except RequestError as error:
+            self.request_errors += 1
+            return error.status, error_payload(error.code, error.message)
+        if request.config is None:  # pragma: no cover - parse always resolves
+            raise RuntimeError("unresolved request config")
+        solve_config = (request.config if "config" in payload
+                        else self._effective_config(request.config))
+        self.solve_requests += 1
+        try:
+            batch, batch_size, coalesced = await self.scheduler.solve(
+                request.population, request.nus, request.mechanism,
+                solve_config)
+        except ModelValidationError as error:
+            self.request_errors += 1
+            return 400, error_payload("bad_request", str(error))
+        except Exception as error:  # keep serving on solver faults
+            self.request_errors += 1
+            return 500, error_payload("solver_error",
+                                      f"{type(error).__name__}: {error}")
+        if solve_config is not request.config:
+            request = _with_config(request, solve_config)
+        return 200, build_solve_response(request, batch, coalesced=coalesced,
+                                         batch_size=batch_size)
+
+    def _effective_config(self, parsed: SolverConfig) -> SolverConfig:
+        """The server-default config for requests without a config field."""
+        return self._config if self._config is not None else parsed
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: cache + scheduler + server counters."""
+        return {
+            "schema": 1,
+            "caches": all_cache_stats(),
+            "scheduler": self.scheduler.stats(),
+            "server": {
+                "requests_total": self.requests_total,
+                "solve_requests": self.solve_requests,
+                "request_errors": self.request_errors,
+            },
+        }
+
+
+def _with_config(request: Any, config: SolverConfig) -> Any:
+    """The request with the server-default config substituted in."""
+    from dataclasses import replace
+
+    return replace(request, config=config)
+
+
+async def _write_response(writer: asyncio.StreamWriter, status: int,
+                          payload: Dict[str, Any], *,
+                          keep_alive: bool) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (f"HTTP/1.1 {status} {phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()

@@ -1,0 +1,14 @@
+"""RL003 violating fixture, service scope: wall-clock timestamps leaking
+into a served payload, plus an unsorted response body."""
+
+import json
+import time
+
+
+def build_response(series):
+    payload = {"series": series, "served_at": time.time()}
+    return json.dumps(payload)
+
+
+def request_id():
+    return time.time_ns()

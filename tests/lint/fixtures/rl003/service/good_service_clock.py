@@ -1,0 +1,22 @@
+"""RL003 conforming fixture, service scope: scheduling on the event loop's
+monotonic clock, canonical JSON bodies, and a justified suppression for the
+one legitimate wall-clock use (an operator-facing log line that never
+reaches a payload)."""
+
+import asyncio
+import json
+import time
+
+
+def build_response(series):
+    return json.dumps({"series": series}, sort_keys=True)
+
+
+def schedule_flush(scheduler, window_seconds):
+    loop = asyncio.get_running_loop()
+    return loop.call_later(window_seconds, scheduler.flush)
+
+
+def log_startup(logger):
+    # Log-only wall clock: never serialized into a response or artifact.
+    logger.info("started at %s", time.time())  # repro-lint: disable=RL003

@@ -19,6 +19,8 @@ CORPUS = [
      FIXTURES / "rl002" / "good_column_store.py"),
     ("RL003", FIXTURES / "rl003" / "simulation" / "bad_nondeterminism.py",
      FIXTURES / "rl003" / "simulation" / "good_nondeterminism.py"),
+    ("RL003", FIXTURES / "rl003" / "service" / "bad_service_clock.py",
+     FIXTURES / "rl003" / "service" / "good_service_clock.py"),
     ("RL004", FIXTURES / "rl004" / "bad" / "numba_backend.py",
      FIXTURES / "rl004" / "good" / "numba_backend.py"),
     ("RL005", FIXTURES / "rl005" / "core" / "bad_float_equality.py",
@@ -27,7 +29,7 @@ CORPUS = [
      FIXTURES / "rl006" / "core" / "good_tolerance.py"),
 ]
 
-CASE_IDS = [code for code, _, _ in CORPUS]
+CASE_IDS = [f"{code}-{bad.parent.name}" for code, bad, _ in CORPUS]
 
 
 def test_registry_is_complete():
@@ -132,11 +134,33 @@ class TestRL003:
         assert lint_source(source, PurePath(self.PATH)) == []
 
     def test_out_of_scope_path_not_checked(self):
-        # Same source, but outside runner/ + simulation/: rule inapplicable.
+        # Same source, but outside runner/simulation/service: inapplicable.
         source = "import time\ndef f():\n    return time.time()\n"
         assert lint_source(source, PurePath("src/repro/core/module.py")) == []
         in_scope = lint_source(source, PurePath(self.PATH))
         assert [f.code for f in in_scope] == ["RL003"]
+
+    def test_service_package_in_scope(self):
+        # The serving layer inherits the full nondeterminism ban: payload
+        # bytes must be canonical and wall clocks must stay out of them.
+        source = ("import json, time\n"
+                  "def respond(series):\n"
+                  "    return json.dumps({'series': series,\n"
+                  "                       'at': time.time()})\n")
+        in_scope = lint_source(
+            source, PurePath("src/repro/service/server.py"))
+        assert [f.code for f in in_scope] == ["RL003", "RL003"]
+
+    def test_service_loop_clock_and_suppression(self):
+        # The event loop's monotonic clock is fine as-is; a justified
+        # line-level suppression silences a deliberate log-only wall clock.
+        source = ("import asyncio, time\n"
+                  "def schedule(cb, window):\n"
+                  "    loop = asyncio.get_running_loop()\n"
+                  "    loop.call_later(window, cb)\n"
+                  "    return time.time()  # repro-lint: disable=RL003\n")
+        assert lint_source(
+            source, PurePath("src/repro/service/scheduler.py")) == []
 
 
 class TestRL004:
@@ -189,7 +213,8 @@ class TestRL006:
 
 def test_rule_scoping_metadata():
     assert RULES["RL001"].path_components == ()
-    assert RULES["RL003"].path_components == ("runner", "simulation")
+    assert RULES["RL003"].path_components == ("runner", "simulation",
+                                              "service")
     assert RULES["RL004"].filenames == ("numba_backend.py",)
     assert RULES["RL005"].path_components == ("core", "network")
     assert RULES["RL006"].path_components == ("core", "network")

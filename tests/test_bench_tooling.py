@@ -10,13 +10,20 @@ import sys
 SCRIPT = pathlib.Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
 
 
-def write_summary(path: pathlib.Path, timings: dict[str, float]) -> None:
-    payload = {
-        "schema": 1,
-        "benchmarks": {name: {"seconds": seconds}
-                       for name, seconds in timings.items()},
-    }
+def write_summary(path: pathlib.Path, timings: dict[str, float],
+                  service: dict | None = None) -> None:
+    benchmarks: dict[str, dict] = {name: {"seconds": seconds}
+                                   for name, seconds in timings.items()}
+    if service is not None:
+        benchmarks["service"] = {"seconds": 1.0, "workloads": service}
+    payload = {"schema": 1, "benchmarks": benchmarks}
     path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def service_workload(p99_ms: float, throughput_rps: float) -> dict:
+    return {"requests": 100, "concurrency": 10, "p50_ms": p99_ms / 2,
+            "p99_ms": p99_ms, "throughput_rps": throughput_rps,
+            "coalesce_rate": 0.8}
 
 
 def run_compare(*args: str) -> subprocess.CompletedProcess:
@@ -113,6 +120,100 @@ class TestBenchCompare:
         result = run_compare(str(tmp_path / "missing.json"),
                              str(tmp_path / "missing2.json"))
         assert result.returncode != 0
+
+
+class TestServiceGate:
+    def test_section_skipped_when_absent_from_both(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0})
+        write_summary(current, {"bench_a": 1.0})
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0
+        assert "section skipped" in result.stdout
+
+    def test_section_skipped_when_absent_from_one_side(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.0, 800.0)})
+        write_summary(current, {"bench_a": 1.0})
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0
+        assert "no entry in current summary" in result.stdout
+
+    def test_ok_when_service_metrics_hold(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.0, 800.0),
+                               "cold": service_workload(40.0, 100.0)})
+        write_summary(current, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.5, 780.0),
+                               "cold": service_workload(38.0, 110.0)})
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0, result.stdout
+        assert "service workloads:" in result.stdout
+
+    def test_p99_regression_fails(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.0, 800.0)})
+        write_summary(current, {"bench_a": 1.0},
+                      service={"hot": service_workload(12.0, 800.0)})
+        result = run_compare(str(baseline), str(current),
+                             "--threshold", "1.5")
+        assert result.returncode == 1
+        assert "REGRESSION (p99" in result.stdout
+
+    def test_throughput_regression_fails(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.0, 800.0)})
+        write_summary(current, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.0, 300.0)})
+        result = run_compare(str(baseline), str(current),
+                             "--threshold", "1.5")
+        assert result.returncode == 1
+        assert "REGRESSION (throughput" in result.stdout
+
+    def test_service_threshold_overrides_global(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"hot": service_workload(5.0, 800.0)})
+        # p99 doubled: fails at the default 1.25 but passes a looser
+        # service-specific threshold (tail latencies are noisy in CI).
+        write_summary(current, {"bench_a": 1.0},
+                      service={"hot": service_workload(10.0, 800.0)})
+        assert run_compare(str(baseline), str(current)).returncode == 1
+        assert run_compare(str(baseline), str(current),
+                           "--service-threshold", "3.0").returncode == 0
+
+    def test_sub_millisecond_p99_noise_ignored(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"hot": service_workload(0.10, 800.0)})
+        # 5x p99 growth, but both sides are below --service-min-ms.
+        write_summary(current, {"bench_a": 1.0},
+                      service={"hot": service_workload(0.50, 800.0)})
+        assert run_compare(str(baseline), str(current)).returncode == 0
+        assert run_compare(str(baseline), str(current),
+                           "--service-min-ms", "0.05").returncode == 1
+
+    def test_disjoint_service_workloads_do_not_fail(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        write_summary(baseline, {"bench_a": 1.0},
+                      service={"old": service_workload(5.0, 800.0)})
+        write_summary(current, {"bench_a": 1.0},
+                      service={"new": service_workload(5.0, 800.0)})
+        result = run_compare(str(baseline), str(current))
+        assert result.returncode == 0
+        assert "baseline-only" in result.stdout
 
 
 class TestSummaryEmission:

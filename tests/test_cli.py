@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import pathlib
 
 import pytest
 
@@ -35,6 +37,36 @@ class TestParser:
                                   "--scale", "smoke"])
         assert args.workers == 4
         assert args.scale == "smoke"
+
+    def test_serve_subcommand_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.window_ms == 2.0
+        assert args.naive is False
+        assert args.solver_threads == 1
+        assert args.max_requests is None
+        assert args.backend is None
+
+    def test_serve_subcommand_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--window-ms",
+                                  "5", "--naive", "--solver-threads", "2",
+                                  "--max-requests", "100", "--backend",
+                                  "reference"])
+        assert args.port == 0
+        assert args.window_ms == 5.0
+        assert args.naive is True
+        assert args.solver_threads == 2
+        assert args.max_requests == 100
+        assert args.backend == "reference"
+
+    def test_serve_unknown_backend_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--backend", "fortran"])
 
     def test_unknown_experiment_rejected(self):
         parser = build_parser()
@@ -172,6 +204,56 @@ class TestIgnoredFlagWarnings:
     def test_count_aware_experiment_does_not_warn(self, capsys):
         assert main(["run", "THM4", "--scale", "smoke", "--count", "40"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestServe:
+    def test_invalid_window_rejected(self, capsys):
+        assert main(["serve", "--window-ms", "-1"]) == 2
+        assert "--window-ms" in capsys.readouterr().err
+
+    def test_invalid_solver_threads_rejected(self, capsys):
+        assert main(["serve", "--solver-threads", "0"]) == 2
+        assert "--solver-threads" in capsys.readouterr().err
+
+    def test_serve_and_loadgen_end_to_end(self):
+        """CLI server + load generator over real sockets, clean shutdown.
+
+        --expect-coalescing proves cross-request sharing engaged over the
+        wire; a zero server exit code after SIGINT proves the clean
+        interrupt-shutdown path (the bounded --max-requests shutdown is
+        covered at the server level in tests/service/test_server.py).
+        """
+        import re
+        import signal
+        import subprocess
+        import sys
+        root = pathlib.Path(__file__).resolve().parent.parent
+        env = dict(os.environ, PYTHONPATH=str(root / "src"))
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env, cwd=root)
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            host, port = match.group(1), match.group(2)
+            loadgen = subprocess.run(
+                [sys.executable, str(root / "scripts" / "service_loadgen.py"),
+                 "--host", host, "--port", port, "--distribution", "hot",
+                 "--requests", "40", "--concurrency", "8",
+                 "--count", "200", "--expect-coalescing"],
+                capture_output=True, text=True, env=env, timeout=120)
+            assert loadgen.returncode == 0, loadgen.stderr
+            report = json.loads(loadgen.stdout)
+            assert report["coalesced"] > 0
+            assert report["errors"] == 0
+            server.send_signal(signal.SIGINT)
+            assert server.wait(timeout=30) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
 
 
 class TestErrorExitCodes:
