@@ -51,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CP population size of every request")
     parser.add_argument("--mechanism", default="maxmin",
                         choices=("maxmin", "proportional_to_demand"))
+    parser.add_argument("--detail", action="store_true",
+                        help="request detail:true payloads (per-provider "
+                             "matrices; HTTP/1.1 responses stream chunked)")
     parser.add_argument("--window-ms", type=float, default=2.0,
                         help="micro-batch window of the --in-process server")
     parser.add_argument("--naive", action="store_true",
@@ -72,14 +75,15 @@ async def _run(args: argparse.Namespace) -> dict:
             return await run_loadgen(
                 host, port, distribution=args.distribution,
                 requests=args.requests, concurrency=args.concurrency,
-                count=args.count, mechanism=args.mechanism)
+                count=args.count, mechanism=args.mechanism,
+                detail=args.detail)
         finally:
             await server.close()
             await serve_task
     return await run_loadgen(
         args.host, args.port, distribution=args.distribution,
         requests=args.requests, concurrency=args.concurrency,
-        count=args.count, mechanism=args.mechanism)
+        count=args.count, mechanism=args.mechanism, detail=args.detail)
 
 
 def main(argv: list[str] | None = None) -> int:

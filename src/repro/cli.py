@@ -174,7 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: 1)")
     serve_parser.add_argument("--max-requests", type=int, default=None,
                               help="shut down cleanly after serving this "
-                                   "many /solve requests (for smoke tests)")
+                                   "many /solve requests (for smoke tests; "
+                                   "with --workers > 1 the bound applies "
+                                   "per worker)")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="serving processes sharing the port via "
+                                   "SO_REUSEPORT; each worker has its own "
+                                   "event loop, scheduler and caches "
+                                   "(default: 1, single-process)")
+    serve_parser.add_argument("--idle-timeout", type=float, default=30.0,
+                              help="seconds an idle keep-alive connection "
+                                   "may sit between requests before the "
+                                   "server closes it; 0 disables the "
+                                   "timeout (default: 30)")
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -280,6 +292,7 @@ def _reproduce_all(args: argparse.Namespace) -> int:
 def _serve(args: argparse.Namespace) -> int:
     """Run the equilibrium server until interrupted (or --max-requests)."""
     import asyncio
+    import signal
 
     from repro.service.server import EquilibriumServer
 
@@ -289,6 +302,25 @@ def _serve(args: argparse.Namespace) -> int:
     if args.solver_threads < 1:
         print("error: --solver-threads must be >= 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.idle_timeout < 0.0:
+        print("error: --idle-timeout must be >= 0", file=sys.stderr)
+        return 2
+    idle_timeout = args.idle_timeout if args.idle_timeout > 0.0 else None
+
+    if args.workers > 1:
+        from repro.service.multiproc import WorkerSettings, serve_multiprocess
+        settings = WorkerSettings(
+            host=args.host, port=args.port,
+            window_seconds=args.window_ms / 1000.0,
+            naive=args.naive,
+            max_solver_threads=args.solver_threads,
+            config=_solver_config(args),
+            max_requests=args.max_requests,
+            idle_timeout=idle_timeout)
+        return serve_multiprocess(settings, args.workers)
 
     async def run() -> None:
         server = EquilibriumServer(
@@ -297,7 +329,11 @@ def _serve(args: argparse.Namespace) -> int:
             naive=args.naive,
             max_solver_threads=args.solver_threads,
             config=_solver_config(args),
-            max_requests=args.max_requests)
+            max_requests=args.max_requests,
+            idle_timeout=idle_timeout)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_shutdown)
         await server.start()
         host, port = server.address
         print(f"serving on http://{host}:{port} "
@@ -307,7 +343,7 @@ def _serve(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(run())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler races the loop
         print("shutting down", file=sys.stderr)
     return 0
 

@@ -91,6 +91,7 @@ class ServiceClient:
         status = int(parts[1])
         length = 0
         close_after = False
+        chunked = False
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n"):
@@ -101,12 +102,43 @@ class ServiceClient:
             name = name.strip().lower()
             if name == "content-length":
                 length = int(value.strip())
+            elif name == "transfer-encoding":
+                chunked = value.strip().lower() == "chunked"
             elif name == "connection" and value.strip().lower() == "close":
                 close_after = True
-        raw = await self._reader.readexactly(length) if length else b"{}"
+        if chunked:
+            raw = await self._read_chunked_body()
+        else:
+            raw = await self._reader.readexactly(length) if length else b"{}"
         payload = json.loads(raw.decode("utf-8"))
         if close_after:
             await self.close()
         if not isinstance(payload, dict):
             raise ConnectionError(f"non-object response payload: {payload!r}")
         return status, payload
+
+    async def _read_chunked_body(self) -> bytes:
+        """Decode a ``Transfer-Encoding: chunked`` body (streamed detail
+        responses) into one buffer."""
+        assert self._reader is not None
+        pieces: list[bytes] = []
+        while True:
+            size_line = await self._reader.readline()
+            if not size_line:
+                raise ConnectionError("connection closed inside chunked body")
+            try:
+                size = int(size_line.strip().split(b";", 1)[0], 16)
+            except ValueError:
+                raise ConnectionError(
+                    f"malformed chunk size {size_line!r}") from None
+            if size == 0:
+                # Trailer section: read through the blank terminator line.
+                while True:
+                    trailer = await self._reader.readline()
+                    if trailer in (b"\r\n", b"\n", b""):
+                        break
+                return b"".join(pieces)
+            pieces.append(await self._reader.readexactly(size))
+            separator = await self._reader.readexactly(2)
+            if separator != b"\r\n":
+                raise ConnectionError("missing CRLF after chunk")

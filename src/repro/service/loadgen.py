@@ -35,7 +35,8 @@ _HOT_GRID = [50.0, 100.0, 150.0, 200.0]
 
 
 def build_payload(distribution: str, index: int, *, count: int = 1000,
-                  seed: int = 0, mechanism: str = "maxmin") -> Dict[str, Any]:
+                  seed: int = 0, mechanism: str = "maxmin",
+                  detail: bool = False) -> Dict[str, Any]:
     """The ``index``-th request of a deterministic workload stream."""
     if distribution not in DISTRIBUTIONS:
         raise ValueError(f"unknown distribution {distribution!r}; expected "
@@ -48,13 +49,16 @@ def build_payload(distribution: str, index: int, *, count: int = 1000,
         # with *other* grids via the union solve.
         base = 10.0 + float(index)
         grid = [base, base + 0.25, base + 0.5]
-    return {"population": population, "mechanism": mechanism, "nus": grid}
+    payload = {"population": population, "mechanism": mechanism, "nus": grid}
+    if detail:
+        payload["detail"] = True
+    return payload
 
 
 async def run_loadgen(host: str, port: int, *, distribution: str,
                       requests: int, concurrency: int, count: int = 1000,
-                      seed: int = 0, mechanism: str = "maxmin"
-                      ) -> Dict[str, Any]:
+                      seed: int = 0, mechanism: str = "maxmin",
+                      detail: bool = False) -> Dict[str, Any]:
     """Replay a workload and return its latency/throughput/coalesce report.
 
     Raises ``RuntimeError`` when any request fails — a load measurement
@@ -81,7 +85,8 @@ async def run_loadgen(host: str, port: int, *, distribution: str,
                         return
                     next_index += 1
                 payload = build_payload(distribution, index, count=count,
-                                        seed=seed, mechanism=mechanism)
+                                        seed=seed, mechanism=mechanism,
+                                        detail=detail)
                 started = time.perf_counter()
                 status, body = await client.solve(payload)
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -112,6 +117,7 @@ async def run_loadgen(host: str, port: int, *, distribution: str,
         "distribution": distribution,
         "requests": requests,
         "concurrency": concurrency,
+        "detail": detail,
         "seconds": elapsed,
         "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
         "p50_ms": float(np.percentile(latencies_ms, 50)),

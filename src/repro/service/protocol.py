@@ -36,8 +36,9 @@ follow-up requests can address it without re-sending the spec.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +60,7 @@ __all__ = [
     "MECHANISM_NAMES",
     "parse_solve_request",
     "build_solve_response",
+    "solve_response_chunks",
     "error_payload",
 ]
 
@@ -283,6 +285,20 @@ def build_solve_response(request: SolveRequest, batch: BatchRateEquilibrium,
     backend + the full cache key) is echoed so clients can attribute every
     number.
     """
+    response = _response_base(request, batch, coalesced=coalesced,
+                              batch_size=batch_size)
+    if request.detail:
+        response["providers"] = {
+            "thetas": batch.thetas.tolist(),
+            "demands": batch.demands.tolist(),
+            "per_capita_rates": batch.per_capita_rates.tolist(),
+        }
+    return response
+
+
+def _response_base(request: SolveRequest, batch: BatchRateEquilibrium, *,
+                   coalesced: bool, batch_size: int) -> Dict[str, Any]:
+    """The response payload without the per-provider ``providers`` block."""
     series: Dict[str, Any] = {
         "aggregate_rates": batch.aggregate_rates.tolist(),
         "utilizations": batch.utilizations.tolist(),
@@ -291,7 +307,7 @@ def build_solve_response(request: SolveRequest, batch: BatchRateEquilibrium,
     if request.price is not None:
         series["premium_revenues"] = (
             batch.premium_revenues(request.price).tolist())
-    response: Dict[str, Any] = {
+    return {
         "schema": 1,
         "fingerprint": request.population.fingerprint().hex(),
         "mechanism": request.mechanism_name,
@@ -304,13 +320,67 @@ def build_solve_response(request: SolveRequest, batch: BatchRateEquilibrium,
         },
         "served": {"coalesced": coalesced, "batch_size": batch_size},
     }
-    if request.detail:
-        response["providers"] = {
-            "thetas": batch.thetas.tolist(),
-            "demands": batch.demands.tolist(),
-            "per_capita_rates": batch.per_capita_rates.tolist(),
-        }
-    return response
+
+
+def _provider_row(batch: BatchRateEquilibrium, name: str,
+                  index: int) -> Any:
+    """One grid point's per-provider series, materialised lazily.
+
+    ``per_capita_rates`` is recomputed per row from the equilibrium arrays
+    instead of through the ``(G, n)`` property so the streaming path never
+    holds a full derived matrix.
+    """
+    if name == "thetas":
+        return batch.thetas[index].tolist()
+    if name == "demands":
+        return batch.demands[index].tolist()
+    row = (batch.population.alphas
+           * batch.demands[index] * batch.thetas[index])
+    return row.tolist()
+
+
+#: ``providers`` sub-keys in canonical (sorted) order — the streaming
+#: serializer emits keys sorted, exactly like ``json.dumps(sort_keys=True)``.
+_PROVIDER_MATRICES: Tuple[str, ...] = ("demands", "per_capita_rates",
+                                       "thetas")
+
+
+def solve_response_chunks(request: SolveRequest, batch: BatchRateEquilibrium,
+                          *, coalesced: bool, batch_size: int
+                          ) -> Iterator[bytes]:
+    """The ``detail: true`` response as incrementally-serialised fragments.
+
+    Yields UTF-8 fragments whose concatenation is **byte-identical** to
+    ``json.dumps(build_solve_response(...), sort_keys=True)`` for the same
+    request — the streamed and buffered wire bodies are the same JSON
+    document.  The per-provider ``(G, n)`` matrices are serialised one grid
+    row at a time, so the peak resident footprint of a response is one
+    row's Python list plus its JSON string instead of three full matrices;
+    the server writes each fragment as one HTTP chunk and drains the
+    transport between fragments (bounded buffering at the socket too).
+    """
+    base = _response_base(request, batch, coalesced=coalesced,
+                          batch_size=batch_size)
+    # Canonical key order splits around "providers": fingerprint, mechanism,
+    # nus < providers < schema, series, served, solver.
+    head_keys = ("fingerprint", "mechanism", "nus")
+    tail_keys = ("schema", "series", "served", "solver")
+    head = {key: base[key] for key in head_keys}
+    tail = {key: base[key] for key in tail_keys}
+    # json.dumps(head) == '{...}'; strip the closing brace and splice the
+    # streamed providers object in at its sorted position.
+    yield (json.dumps(head, sort_keys=True)[:-1]
+           + ', "providers": {').encode("utf-8")
+    grid_points = len(batch.nus)
+    for matrix_index, name in enumerate(_PROVIDER_MATRICES):
+        prefix = "" if matrix_index == 0 else ", "
+        yield f'{prefix}"{name}": ['.encode("utf-8")
+        for row_index in range(grid_points):
+            row = json.dumps(_provider_row(batch, name, row_index),
+                             sort_keys=True)
+            yield (row if row_index == 0 else ", " + row).encode("utf-8")
+        yield b"]"
+    yield ("}, " + json.dumps(tail, sort_keys=True)[1:]).encode("utf-8")
 
 
 def error_payload(code: str, message: str) -> Dict[str, Any]:

@@ -83,6 +83,7 @@ class MicroBatchScheduler:
             raise ValueError("max_solver_threads must be >= 1")
         self.window_seconds = window_seconds
         self.naive = naive
+        self.max_solver_threads = max_solver_threads
         self._executor = ThreadPoolExecutor(
             max_workers=max_solver_threads,
             thread_name_prefix="repro-solver")
@@ -153,6 +154,7 @@ class MicroBatchScheduler:
         return {
             "window_seconds": self.window_seconds,
             "naive": self.naive,
+            "solver_threads": self.max_solver_threads,
             "requests": self.requests,
             "requested_points": self.requested_points,
             "coalesced": self.coalesced,

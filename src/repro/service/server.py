@@ -8,9 +8,26 @@ Endpoints:
 
 * ``POST /solve``   — solve an equilibrium request (see
   :mod:`repro.service.protocol` and ARTIFACTS.md for the schema).
+  ``detail: true`` responses are streamed with ``Transfer-Encoding:
+  chunked`` (per-grid-point blocks, never a fully-buffered body) to
+  HTTP/1.1 clients; HTTP/1.0 clients get a buffered body.
 * ``GET  /stats``   — solver-cache statistics (``all_cache_stats()``) plus
-  the scheduler's coalescing / batch-fusion counters.
+  the scheduler's coalescing / batch-fusion counters.  In multi-process
+  mode (see :mod:`repro.service.multiproc`) the response carries the
+  aggregate view at the top level plus a ``workers`` list with every
+  worker's own counters; ``GET /stats?scope=local`` always answers with
+  only the serving worker's numbers.
 * ``GET  /healthz`` — liveness probe.
+
+Connection hygiene: the ``Connection`` header is compared
+case-insensitively (RFC 9112 — ``Connection: Close`` closes), the request
+line's HTTP version decides the keep-alive *default* (HTTP/1.0 defaults to
+close, HTTP/1.1 to keep-alive), and idle keep-alive connections are closed
+after ``idle_timeout`` seconds so forgotten clients can neither pin a
+handler task forever nor stall a graceful shutdown.  Shutdown
+(:meth:`EquilibriumServer.close`, or :meth:`request_shutdown` from a
+signal handler) stops accepting, wakes every idle reader, lets in-flight
+requests finish their response, then drains the scheduler.
 
 Malformed requests are answered with a structured JSON error and the
 configured 4xx status; the connection (and the server) stays up.  Requests
@@ -22,8 +39,11 @@ reach.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
-from typing import Any, Dict, Optional, Tuple
+import os
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.backends.config import SolverConfig
 from repro.cache import all_cache_stats
@@ -33,20 +53,38 @@ from repro.service.protocol import (
     build_solve_response,
     error_payload,
     parse_solve_request,
+    solve_response_chunks,
 )
 from repro.service.scheduler import DEFAULT_WINDOW_SECONDS, MicroBatchScheduler
 
-__all__ = ["EquilibriumServer", "MAX_BODY_BYTES"]
+__all__ = ["EquilibriumServer", "MAX_BODY_BYTES", "DEFAULT_IDLE_TIMEOUT"]
 
 #: Largest accepted request body; far above any sane grid, far below a DoS.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_HEADER_LINES = 64
+
+#: Idle keep-alive connections are closed after this many seconds unless
+#: the server was configured otherwise (``--idle-timeout``).
+DEFAULT_IDLE_TIMEOUT = 30.0
+
+#: Grace period for in-flight requests to finish during shutdown before
+#: their connection tasks are cancelled outright.
+_DRAIN_GRACE_SECONDS = 10.0
+
+#: Timeout for one peer's ``/stats?scope=local`` fetch in the merged view.
+_PEER_STATS_TIMEOUT = 2.0
 
 _STATUS_PHRASES = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     500: "Internal Server Error",
 }
+
+#: A handler's response body: a JSON object, or an iterator of pre-encoded
+#: fragments to stream with chunked transfer encoding.
+_Payload = Union[Dict[str, Any], Iterator[bytes]]
+#: ``(method, target, http version, headers, body)`` of one parsed request.
+_ParsedRequest = Tuple[str, str, str, Dict[str, str], bytes]
 
 
 class _HttpViolation(Exception):
@@ -59,6 +97,11 @@ class EquilibriumServer:
     ``config`` is the default :class:`SolverConfig` used for requests that
     carry no ``config`` field (the CLI's ``--backend`` flag lands here);
     ``naive=True`` turns off batching/coalescing for baseline measurements.
+    ``idle_timeout`` bounds how long a keep-alive connection may sit
+    between requests (``None`` disables the bound).  ``worker_index`` tags
+    this server as one worker of a multi-process group (see
+    :mod:`repro.service.multiproc`); :meth:`set_peers` wires the group's
+    direct addresses in for the merged ``/stats`` view.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -66,29 +109,70 @@ class EquilibriumServer:
                  naive: bool = False,
                  max_solver_threads: int = 1,
                  config: Optional[SolverConfig] = None,
-                 max_requests: Optional[int] = None) -> None:
+                 max_requests: Optional[int] = None,
+                 idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+                 worker_index: Optional[int] = None) -> None:
+        if idle_timeout is not None and idle_timeout <= 0.0:
+            raise ValueError(
+                f"idle_timeout must be > 0 or None, got {idle_timeout!r}")
         self._host = host
         self._port = port
         self._config = config
         self._max_requests = max_requests
+        self._idle_timeout = idle_timeout
+        self.worker_index = worker_index
         self.scheduler = MicroBatchScheduler(
             window_seconds, naive=naive,
             max_solver_threads=max_solver_threads)
         self._server: Optional[asyncio.base_events.Server] = None
+        self._direct_server: Optional[asyncio.base_events.Server] = None
+        self._peers: List[Tuple[int, str, int]] = []
         self._closing = asyncio.Event()
+        self._connections: Set["asyncio.Task[None]"] = set()
+        self._shutdown_begun = False
+        self._shutdown_complete = asyncio.Event()
         self.requests_total = 0
         self.solve_requests = 0
         self.request_errors = 0
+        self.idle_timeouts = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    async def start(self) -> None:
-        """Bind and start accepting connections (port 0 = ephemeral)."""
+    async def start(self, sock: Optional[socket.socket] = None) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral).
+
+        ``sock`` serves on an already-bound listening socket instead of
+        ``host``/``port`` — the multi-process mode's ``SO_REUSEPORT``
+        (or inherited-socket) acceptors enter here.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port)
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port)
+
+    async def start_direct(self) -> Tuple[str, int]:
+        """Open this worker's private (direct) listener on an ephemeral port.
+
+        The direct address reaches *this* worker specifically — connections
+        to the shared ``SO_REUSEPORT`` port land on an arbitrary worker —
+        and is what the merged ``/stats`` fan-out dials.  Serves the same
+        handler as the shared listener.
+        """
+        if self._direct_server is not None:
+            raise RuntimeError("direct listener already started")
+        self._direct_server = await asyncio.start_server(
+            self._handle_connection, "127.0.0.1", 0)
+        address = self._direct_server.sockets[0].getsockname()
+        return str(address[0]), int(address[1])
+
+    def set_peers(self, peers: Sequence[Tuple[int, str, int]]) -> None:
+        """Install the worker group's ``(index, host, port)`` directory."""
+        self._peers = sorted(peers)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -105,6 +189,15 @@ class EquilibriumServer:
         await self._closing.wait()
         await self._shutdown()
 
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown (signal-handler safe, synchronous).
+
+        Wakes :meth:`serve_until_closed`, which stops accepting, closes
+        idle connections, finishes in-flight requests and drains the
+        scheduler.
+        """
+        self._closing.set()
+
     async def close(self) -> None:
         """Stop accepting, drain in-flight solves, release the executor."""
         self._closing.set()
@@ -112,63 +205,99 @@ class EquilibriumServer:
         await self._shutdown()
 
     async def _shutdown(self) -> None:
-        server, self._server = self._server, None
-        if server is not None:
-            server.close()
-            await server.wait_closed()
-        await self.scheduler.aclose()
+        if self._shutdown_begun:
+            await self._shutdown_complete.wait()
+            return
+        self._shutdown_begun = True
+        try:
+            for server_attr in ("_server", "_direct_server"):
+                server = getattr(self, server_attr)
+                setattr(self, server_attr, None)
+                if server is not None:
+                    server.close()
+                    await server.wait_closed()
+            # Idle readers wake on the closing event; in-flight requests
+            # get a grace period to finish their response.
+            current = asyncio.current_task()
+            tasks = [task for task in self._connections if task is not current]
+            if tasks:
+                _done, pending = await asyncio.wait(
+                    tasks, timeout=_DRAIN_GRACE_SECONDS)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+            await self.scheduler.aclose()
+        finally:
+            self._shutdown_complete.set()
 
     # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
         try:
-            while not self._closing.is_set():
-                try:
-                    parsed = await self._read_request(reader)
-                except _HttpViolation as violation:
-                    await _write_response(
-                        writer, 400,
-                        error_payload("bad_http", str(violation)),
-                        keep_alive=False)
-                    break
-                if parsed is None:  # clean EOF between requests
-                    break
-                method, target, headers, body = parsed
-                keep_alive = headers.get("connection", "keep-alive") != "close"
-                self.requests_total += 1
-                status, payload = await self._dispatch(method, target, body)
-                await _write_response(writer, status, payload,
-                                      keep_alive=keep_alive)
-                if not keep_alive:
-                    break
-                if (self._max_requests is not None
-                        and self.solve_requests >= self._max_requests):
-                    self._closing.set()
-                    break
+            await self._serve_connection(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
         finally:
+            if task is not None:
+                self._connections.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while not self._closing.is_set():
+            try:
+                parsed = await self._read_request(reader)
+            except _HttpViolation as violation:
+                await _write_response(
+                    writer, 400,
+                    error_payload("bad_http", str(violation)),
+                    keep_alive=False)
+                break
+            except asyncio.TimeoutError:
+                # Slow-loris guard: stalled mid-request, close quietly.
+                self.idle_timeouts += 1
+                break
+            if parsed is None:  # clean EOF, idle timeout, or shutdown
+                break
+            method, target, version, headers, body = parsed
+            keep_alive = _wants_keep_alive(version, headers)
+            self.requests_total += 1
+            # HTTP/1.0 cannot frame a chunked stream; buffer for it.
+            status, payload = await self._dispatch(
+                method, target, body, allow_stream=(version == "HTTP/1.1"))
+            if self._closing.is_set():
+                keep_alive = False  # draining: tell the client we're done
+            await _write_response(writer, status, payload,
+                                  keep_alive=keep_alive)
+            if not keep_alive:
+                break
+            if (self._max_requests is not None
+                    and self.solve_requests >= self._max_requests):
+                self._closing.set()
+                break
+
     async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> Optional[Tuple[str, str, Dict[str, str],
-                                                bytes]]:
-        request_line = await reader.readline()
-        if not request_line:
+                            ) -> Optional[_ParsedRequest]:
+        request_line = await self._read_request_line(reader)
+        if not request_line:  # shutdown, idle timeout, or clean EOF (b"")
             return None
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             raise _HttpViolation("malformed HTTP request line")
-        method, target = parts[0].upper(), parts[1]
+        method, target, version = parts[0].upper(), parts[1], parts[2]
         headers: Dict[str, str] = {}
         for _ in range(_MAX_HEADER_LINES):
-            line = await reader.readline()
+            line = await self._read_more(reader.readline())
             if line in (b"\r\n", b"\n"):
                 break
             if not line:
@@ -185,24 +314,72 @@ class EquilibriumServer:
         if length < 0 or length > MAX_BODY_BYTES:
             raise _HttpViolation(
                 f"Content-Length {length} outside [0, {MAX_BODY_BYTES}]")
-        body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
+        body = (await self._read_more(reader.readexactly(length))
+                if length else b"")
+        return method, target, version, headers, body
+
+    async def _read_request_line(self, reader: asyncio.StreamReader
+                                 ) -> Optional[bytes]:
+        """The next request line, or ``None`` to close the connection.
+
+        Waits on the socket *and* the shutdown event, bounded by the idle
+        timeout: an idle keep-alive client can neither pin this handler
+        task forever nor stall a graceful drain (the pre-fix behaviour was
+        an unconditional ``readline()`` — ``_closing`` was only observed
+        between requests, so shutdown hung until every idle client went
+        away on its own).
+        """
+        if self._closing.is_set():
+            return None
+        read_task: "asyncio.Task[bytes]" = asyncio.ensure_future(
+            reader.readline())
+        closing_task: "asyncio.Task[bool]" = asyncio.ensure_future(
+            self._closing.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                {read_task, closing_task}, timeout=self._idle_timeout,
+                return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            closing_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await closing_task
+        if read_task in done:
+            return read_task.result()
+        # Shutdown or idle timeout: abandon the read and close.
+        if not done:
+            self.idle_timeouts += 1
+        read_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError, ConnectionError,
+                                 asyncio.IncompleteReadError):
+            await read_task
+        return None
+
+    async def _read_more(self, awaitable: Any) -> bytes:
+        """A mid-request read, bounded by the idle timeout."""
+        if self._idle_timeout is None:
+            result = await awaitable
+        else:
+            result = await asyncio.wait_for(awaitable, self._idle_timeout)
+        return bytes(result)
 
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, method: str, target: str, body: bytes
-                        ) -> Tuple[int, Dict[str, Any]]:
-        path = target.split("?", 1)[0]
+    async def _dispatch(self, method: str, target: str, body: bytes, *,
+                        allow_stream: bool = True
+                        ) -> Tuple[int, _Payload]:
+        path, _, query = target.partition("?")
         if path == "/solve":
             if method != "POST":
                 return 405, error_payload("method_not_allowed",
                                           "/solve accepts POST only")
-            return await self._handle_solve(body)
+            return await self._handle_solve(body, allow_stream=allow_stream)
         if path == "/stats":
             if method != "GET":
                 return 405, error_payload("method_not_allowed",
                                           "/stats accepts GET only")
+            if self._peers and "scope=local" not in query.split("&"):
+                return 200, await self._merged_stats()
             return 200, self.stats()
         if path == "/healthz":
             if method != "GET":
@@ -211,7 +388,8 @@ class EquilibriumServer:
             return 200, {"schema": 1, "status": "ok"}
         return 404, error_payload("not_found", f"no route for {path!r}")
 
-    async def _handle_solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _handle_solve(self, body: bytes, *, allow_stream: bool
+                            ) -> Tuple[int, _Payload]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -241,6 +419,10 @@ class EquilibriumServer:
                                       f"{type(error).__name__}: {error}")
         if solve_config is not request.config:
             request = _with_config(request, solve_config)
+        if request.detail and allow_stream:
+            return 200, solve_response_chunks(request, batch,
+                                              coalesced=coalesced,
+                                              batch_size=batch_size)
         return 200, build_solve_response(request, batch, coalesced=coalesced,
                                          batch_size=batch_size)
 
@@ -250,7 +432,7 @@ class EquilibriumServer:
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: cache + scheduler + server counters."""
-        return {
+        payload: Dict[str, Any] = {
             "schema": 1,
             "caches": all_cache_stats(),
             "scheduler": self.scheduler.stats(),
@@ -258,8 +440,56 @@ class EquilibriumServer:
                 "requests_total": self.requests_total,
                 "solve_requests": self.solve_requests,
                 "request_errors": self.request_errors,
+                "idle_timeouts": self.idle_timeouts,
             },
         }
+        if self.worker_index is not None:
+            payload["worker"] = {"index": self.worker_index,
+                                 "pid": os.getpid()}
+        return payload
+
+    async def _merged_stats(self) -> Dict[str, Any]:
+        """The multi-worker ``/stats`` view: per-worker + aggregate.
+
+        Fans ``GET /stats?scope=local`` out to every peer's direct address
+        and merges: the top level keeps the single-process shape (summed
+        ``server``/``scheduler``/``caches`` counters, so existing
+        consumers — the load generator's before/after deltas included —
+        read aggregate numbers unchanged) and a ``workers`` list carries
+        each worker's own payload.  An unreachable worker is reported in
+        its slot, never fatal to the view.
+        """
+        from repro.service.multiproc import merge_worker_stats
+
+        async def fetch(index: int, host: str, port: int) -> Dict[str, Any]:
+            if index == self.worker_index:
+                return self.stats()
+            from repro.service.client import ServiceClient
+            try:
+                async with ServiceClient(host, port) as client:
+                    status, payload = await asyncio.wait_for(
+                        client.request("GET", "/stats?scope=local"),
+                        timeout=_PEER_STATS_TIMEOUT)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                return {"worker": {"index": index}, "unreachable": True}
+            if status != 200:  # pragma: no cover - peers always serve stats
+                return {"worker": {"index": index}, "unreachable": True}
+            return payload
+
+        payloads = await asyncio.gather(
+            *[fetch(index, host, port) for index, host, port in self._peers])
+        return merge_worker_stats(list(payloads))
+
+
+def _wants_keep_alive(version: str, headers: Dict[str, str]) -> bool:
+    """Keep-alive per RFC 9112: header tokens are case-insensitive and the
+    HTTP version sets the default (1.1 persistent, 1.0 close)."""
+    connection = headers.get("connection", "").strip().lower()
+    if connection == "close":
+        return False
+    if connection == "keep-alive":
+        return True
+    return version == "HTTP/1.1"
 
 
 def _with_config(request: Any, config: SolverConfig) -> Any:
@@ -270,9 +500,17 @@ def _with_config(request: Any, config: SolverConfig) -> Any:
 
 
 async def _write_response(writer: asyncio.StreamWriter, status: int,
-                          payload: Dict[str, Any], *,
+                          payload: _Payload, *,
                           keep_alive: bool) -> None:
-    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if isinstance(payload, dict):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        await _write_buffered(writer, status, body, keep_alive=keep_alive)
+    else:
+        await _write_chunked(writer, status, payload, keep_alive=keep_alive)
+
+
+async def _write_buffered(writer: asyncio.StreamWriter, status: int,
+                          body: bytes, *, keep_alive: bool) -> None:
     phrase = _STATUS_PHRASES.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
     head = (f"HTTP/1.1 {status} {phrase}\r\n"
@@ -280,4 +518,31 @@ async def _write_response(writer: asyncio.StreamWriter, status: int,
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n\r\n").encode("latin-1")
     writer.write(head + body)
+    await writer.drain()
+
+
+async def _write_chunked(writer: asyncio.StreamWriter, status: int,
+                         chunks: Iterator[bytes], *,
+                         keep_alive: bool) -> None:
+    """Stream a response with chunked transfer encoding.
+
+    Each fragment becomes one HTTP chunk and the transport is drained
+    after every write, so the server's buffering stays bounded by one
+    fragment (plus the socket buffer) no matter how large the body — the
+    point of the ``detail: true`` streaming mode.
+    """
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (f"HTTP/1.1 {status} {phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Transfer-Encoding: chunked\r\n"
+            f"Connection: {connection}\r\n\r\n").encode("latin-1")
+    writer.write(head)
+    await writer.drain()
+    for chunk in chunks:
+        if not chunk:
+            continue  # a zero-length chunk would terminate the stream
+        writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
     await writer.drain()

@@ -177,6 +177,120 @@ class TestErrorHandling:
         assert status == 200
 
 
+async def raw_request(reader, writer, *, version="HTTP/1.1", headers=()):
+    """One ``GET /healthz`` on an open socket; returns (head, body, eof).
+
+    ``eof`` is True when the server closed the connection afterwards.
+    """
+    lines = [f"GET /healthz {version}", "Host: t"]
+    lines += list(headers)
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = await reader.readexactly(length)
+    eof = (await reader.read(1)) == b"" if b"close" in head.lower() else False
+    return head, body, eof
+
+
+class TestConnectionHygiene:
+    """The RFC 9112 keep-alive semantics fixed in this change."""
+
+    def test_connection_close_is_case_insensitive(self):
+        # The pre-fix comparison was exact ("close"), so "Close"/"CLOSE"
+        # left the connection open against the client's explicit wish.
+        async def body(host, port, server):
+            results = []
+            for token in ("close", "Close", "CLOSE"):
+                reader, writer = await asyncio.open_connection(host, port)
+                head, _, eof = await raw_request(
+                    reader, writer, headers=(f"Connection: {token}",))
+                results.append((token, b"Connection: close" in head, eof))
+                writer.close()
+            return results
+
+        for token, advertised_close, closed in run(with_server(body)):
+            assert advertised_close, f"Connection: {token} not honoured"
+            assert closed, f"Connection: {token} left the socket open"
+
+    def test_http_10_defaults_to_close(self):
+        async def body(host, port, server):
+            reader, writer = await asyncio.open_connection(host, port)
+            head, _, eof = await raw_request(reader, writer,
+                                             version="HTTP/1.0")
+            writer.close()
+            return head, eof
+
+        head, eof = run(with_server(body))
+        assert b"Connection: close" in head
+        assert eof
+
+    def test_http_10_keep_alive_header_persists_the_connection(self):
+        async def body(host, port, server):
+            reader, writer = await asyncio.open_connection(host, port)
+            first, _, _ = await raw_request(
+                reader, writer, version="HTTP/1.0",
+                headers=("Connection: keep-alive",))
+            # Same socket serves a second request.
+            second, _, _ = await raw_request(
+                reader, writer, version="HTTP/1.0",
+                headers=("Connection: keep-alive",))
+            writer.close()
+            return first, second
+
+        first, second = run(with_server(body))
+        assert b"Connection: keep-alive" in first
+        assert b"Connection: keep-alive" in second
+
+    def test_http_11_defaults_to_keep_alive(self):
+        async def body(host, port, server):
+            reader, writer = await asyncio.open_connection(host, port)
+            first, _, _ = await raw_request(reader, writer)
+            second, _, _ = await raw_request(reader, writer)
+            writer.close()
+            return first, second
+
+        first, second = run(with_server(body))
+        assert b"Connection: keep-alive" in first
+        assert b"Connection: keep-alive" in second
+
+    def test_idle_keep_alive_connection_times_out(self):
+        # Pre-fix, an idle keep-alive client pinned its handler task
+        # forever; now the server closes it after idle_timeout.
+        async def body(host, port, server):
+            reader, writer = await asyncio.open_connection(host, port)
+            await raw_request(reader, writer)  # one served request
+            closed = await asyncio.wait_for(reader.read(1), timeout=5.0)
+            writer.close()
+            return closed, server.stats()["server"]["idle_timeouts"]
+
+        closed, timeouts = run(with_server(body, idle_timeout=0.2))
+        assert closed == b""  # server closed the idle socket
+        assert timeouts >= 1
+
+    def test_shutdown_completes_with_idle_client_attached(self):
+        # Pre-fix, close() hung until every idle keep-alive client went
+        # away on its own; now the idle reader wakes on the closing event.
+        async def scenario():
+            server = EquilibriumServer(port=0, window_seconds=0.005,
+                                       idle_timeout=30.0)
+            await server.start()
+            serve_task = asyncio.create_task(server.serve_until_closed())
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            await raw_request(reader, writer)  # park an idle keep-alive
+            await asyncio.wait_for(server.close(), timeout=5.0)
+            await asyncio.wait_for(serve_task, timeout=5.0)
+            assert await reader.read(1) == b""
+            writer.close()
+            return True
+
+        assert run(scenario())
+
+
 class TestStatsAndLifecycle:
     def test_stats_exposes_caches_scheduler_and_server_counters(self):
         async def body(host, port, server):
