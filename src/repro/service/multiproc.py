@@ -63,7 +63,7 @@ _POLL_SECONDS = 0.2
 #: taking the first worker's value instead of summing.
 _CONFIG_STAT_KEYS = frozenset({
     "window_seconds", "naive", "maxsize", "max_bytes", "ttl_seconds",
-    "schema",
+    "schema", "solver_threads",
 })
 
 

@@ -334,8 +334,10 @@ def _provider_row(batch: BatchRateEquilibrium, name: str,
         return batch.thetas[index].tolist()
     if name == "demands":
         return batch.demands[index].tolist()
+    # Same association order as the (G, n) property — alphas * (d * theta),
+    # via the rhos intermediate — so streamed bytes match the buffered body.
     row = (batch.population.alphas
-           * batch.demands[index] * batch.thetas[index])
+           * (batch.demands[index] * batch.thetas[index]))
     return row.tolist()
 
 

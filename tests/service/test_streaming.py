@@ -63,6 +63,27 @@ class TestChunkGenerator:
         assert streamed == json.dumps(buffered,
                                       sort_keys=True).encode("utf-8")
 
+    def test_byte_identity_at_1000_cp_workload(self):
+        # Regression: at this scale, computing per-provider rows as
+        # (alphas * demands) * thetas instead of the property's
+        # alphas * (demands * thetas) rounds differently for hundreds of
+        # matrix values, so the streamed body would diverge from the
+        # buffered one.  The 120-CP fixture above happens not to expose it.
+        payload = {"population": {"count": 1000, "seed": 0},
+                   "mechanism": "maxmin",
+                   "nus": [float(nu) for nu in range(40, 200, 40)],
+                   "detail": True}
+        request = parse_solve_request(payload)
+        batch = solve_rate_equilibria(request.population, request.nus,
+                                      request.mechanism, request.config)
+        buffered = build_solve_response(request, batch, coalesced=False,
+                                        batch_size=1)
+        streamed = b"".join(solve_response_chunks(request, batch,
+                                                  coalesced=False,
+                                                  batch_size=1))
+        assert streamed == json.dumps(buffered,
+                                      sort_keys=True).encode("utf-8")
+
     def test_streaming_never_materialises_the_full_body(self):
         # 30k CPs x 8 grid points: the buffered path materialises all 24
         # provider rows as Python lists plus the ~16 MB body string, while
